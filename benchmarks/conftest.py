@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark test runs one paper experiment through the harness in
+:mod:`repro.bench`, archives its ResultTable under
+``benchmarks/results/``, and registers it for display; this hook prints
+every collected table at the end of the session so
+``pytest benchmarks/ --benchmark-only`` output contains the full
+paper-vs-measured report alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_COLLECTED: list[tuple[str, str]] = []
+
+
+def record_table(name: str, table) -> None:
+    """Archive one experiment's output and queue it for the summary."""
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.format()
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _COLLECTED.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTED:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for name, text in _COLLECTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(archived under {_RESULTS_DIR}/ as <experiment>.txt)"
+    )

@@ -1,0 +1,24 @@
+"""Figure 5 — tail behaviour: random walk vs BFS."""
+
+from repro.bench import fig5
+
+from .conftest import record_table
+
+
+def test_fig5(benchmark):
+    table = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    record_table("fig5_tail_behavior", table)
+
+    bfs_sizes, walk_active = fig5.tail_series()
+
+    # BFS converges in a handful of iterations (paper: 12 on LiveJournal).
+    assert len(bfs_sizes) < 30
+    # The walk's tail is far longer...
+    assert len(walk_active) > 10 * len(bfs_sizes)
+    # ...and thinner: the last 20% of iterations hold under 2% of walkers.
+    tail_start = int(0.8 * len(walk_active))
+    assert max(walk_active[tail_start:]) < 0.02 * walk_active[0]
+    # Active counts only shrink (fixed start population, no restarts).
+    assert all(
+        a >= b for a, b in zip(walk_active, walk_active[1:])
+    )

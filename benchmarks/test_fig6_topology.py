@@ -1,0 +1,54 @@
+"""Figure 6 — sampling overhead vs graph topology (three sweeps)."""
+
+import numpy as np
+
+from repro.bench import fig6
+
+from .conftest import record_table
+
+
+def test_fig6a_density(benchmark):
+    table = benchmark.pedantic(fig6.run_6a, rounds=1, iterations=1)
+    record_table("fig6a_uniform_degree", table)
+
+    degrees = [float(v) for v in table.column("degree")]
+    full = [float(v) for v in table.column("full-scan edges/step")]
+    knightking = [float(v) for v in table.column("KnightKing edges/step")]
+
+    # Full-scan grows linearly with degree (strong correlation, slope ~1).
+    correlation = np.corrcoef(degrees, full)[0, 1]
+    assert correlation > 0.99
+    assert full[-1] / full[0] > 0.5 * degrees[-1] / degrees[0]
+    # KnightKing constant, below one evaluation per step (paper: ~0.75).
+    assert max(knightking) < 1.2
+    assert max(knightking) - min(knightking) < 0.3
+
+
+def test_fig6b_skewness(benchmark):
+    table = benchmark.pedantic(fig6.run_6b, rounds=1, iterations=1)
+    record_table("fig6b_power_law_truncation", table)
+
+    means = [float(v) for v in table.column("mean degree")]
+    full = [float(v) for v in table.column("full-scan edges/step")]
+    knightking = [float(v) for v in table.column("KnightKing edges/step")]
+
+    # Paper: overhead grows 67x while mean degree grows 3.9x — the cost
+    # grows much faster than the density.
+    assert full[-1] / full[0] > 3 * (means[-1] / means[0])
+    assert max(knightking) - min(knightking) < 0.3
+
+
+def test_fig6c_hotspots(benchmark):
+    table = benchmark.pedantic(fig6.run_6c, rounds=1, iterations=1)
+    record_table("fig6c_hotspots", table)
+
+    hotspots = [int(v) for v in table.column("hotspots")]
+    full = [float(v) for v in table.column("full-scan edges/step")]
+    knightking = [float(v) for v in table.column("KnightKing edges/step")]
+
+    # Full-scan cost grows linearly with the number of hotspots.
+    correlation = np.corrcoef(hotspots, full)[0, 1]
+    assert correlation > 0.97
+    assert full[-1] > 5 * full[0]
+    # Rejection sampling is "boring as ever".
+    assert max(knightking) - min(knightking) < 0.3

@@ -1,0 +1,26 @@
+"""Figure 7 — node2vec scalability, 1 to 8 simulated nodes."""
+
+from repro.bench import fig7
+
+from .conftest import record_table
+
+
+def test_fig7(benchmark):
+    table = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    record_table("fig7_scalability", table)
+
+    kk_speedup = [float(v) for v in table.column("KnightKing speedup")]
+    gemini_speedup = [float(v) for v in table.column("Gemini speedup")]
+    kk_seconds = [float(v) for v in table.column("KnightKing (s)")]
+    gemini_seconds = [float(v) for v in table.column("Gemini (s)")]
+
+    # Both systems scale (sub-linearly) with node count.
+    assert kk_speedup[-1] > 2.0
+    assert gemini_speedup[-1] > 2.0
+    assert kk_speedup[-1] < 8.0 and gemini_speedup[-1] < 8.0
+    # They scale similarly (paper: "both systems scale quite similarly").
+    assert abs(kk_speedup[-1] - gemini_speedup[-1]) < 0.5 * kk_speedup[-1]
+    # KnightKing's absolute advantage holds at every cluster size
+    # (paper: 20.9x at one node).
+    for kk, gemini in zip(kk_seconds, gemini_seconds):
+        assert gemini > 5 * kk

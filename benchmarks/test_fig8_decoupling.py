@@ -1,0 +1,36 @@
+"""Figure 8 — performance impact of decomposing Ps from Pd."""
+
+from repro.bench import fig8
+
+from .conftest import record_table
+
+
+def test_fig8(benchmark):
+    table = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    record_table("fig8_decoupling", table)
+
+    rows_by_distribution = {"uniform": [], "power-law": []}
+    for row in table.rows:
+        rows_by_distribution[row[0]].append(
+            (float(row[1]), float(row[4]), float(row[5]))
+        )  # (max_weight, mixed trials/step, decoupled trials/step)
+
+    for distribution, rows in rows_by_distribution.items():
+        mixed_first, mixed_last = rows[0][1], rows[-1][1]
+        decoupled_first, decoupled_last = rows[0][2], rows[-1][2]
+        # Mixed cost grows with the maximum weight...
+        assert mixed_last > 1.3 * mixed_first, distribution
+        # ...decoupled stays flat.
+        assert decoupled_last < 1.2 * decoupled_first, distribution
+
+    # Power-law weights hurt the mixed formulation more than uniform
+    # ones (paper: "power-law weight assignment worsens this growth").
+    uniform_growth = (
+        rows_by_distribution["uniform"][-1][1]
+        / rows_by_distribution["uniform"][0][1]
+    )
+    power_growth = (
+        rows_by_distribution["power-law"][-1][1]
+        / rows_by_distribution["power-law"][0][1]
+    )
+    assert power_growth > uniform_growth

@@ -1,0 +1,19 @@
+"""Intro claim — vertex navigation rate: BFS vs node2vec."""
+
+from repro.bench import navrate
+
+from .conftest import record_table
+
+
+def test_navigation_rate(benchmark):
+    table = benchmark.pedantic(navrate.run, rounds=1, iterations=1)
+    record_table("navigation_rate", table)
+
+    rates = {
+        row[0]: float(row[1].replace(",", "")) for row in table.rows
+    }
+    # Full-scan node2vec navigates orders of magnitude slower than BFS
+    # (paper: up to 1434x on real Twitter).
+    assert rates["BFS"] > 20 * rates["full-scan node2vec"]
+    # Rejection sampling recovers most of the gap.
+    assert rates["KnightKing node2vec"] > 5 * rates["full-scan node2vec"]

@@ -1,0 +1,20 @@
+"""Section 3 — second-order precompute memory (the 970TB/1.89PB claim)."""
+
+from repro.bench import memory
+
+from .conftest import record_table
+
+
+def test_precompute_memory(benchmark):
+    table = benchmark.pedantic(memory.run, rounds=1, iterations=1)
+    record_table("precompute_memory", table)
+
+    its_row, alias_row = table.rows
+    its_terabytes = float(its_row[1].split()[0])
+    alias_petabytes = float(alias_row[1].split()[0])
+
+    # Paper: ~970 TB (ITS) and ~1.89 PB (alias) on the Twitter graph.
+    assert 500 < its_terabytes < 2000
+    assert 1.0 < alias_petabytes < 4.0
+    # Alias costs twice ITS per entry (up to display rounding).
+    assert abs(alias_petabytes * 1000 / its_terabytes - 2.0) < 0.05

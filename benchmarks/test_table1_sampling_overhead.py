@@ -1,0 +1,22 @@
+"""Table 1 — node2vec sampling overhead: full-scan vs KnightKing."""
+
+from repro.bench import table1
+
+from .conftest import record_table
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    record_table("table1_sampling_overhead", table)
+
+    full = [float(v) for v in table.column("full-scan edges/step")]
+    knightking = [float(v) for v in table.column("KnightKing edges/step")]
+    graphs = table.column("graph")
+
+    # Paper shape: KnightKing needs < 1 Pd evaluation per step on both
+    # graphs; full-scan needs orders of magnitude more, and more on the
+    # skewed graph (Twitter) than on the mild one (Friendster).
+    assert all(k < 1.2 for k in knightking)
+    assert all(f > 50 * k for f, k in zip(full, knightking))
+    by_graph = dict(zip(graphs, full))
+    assert by_graph["twitter"] > 2 * by_graph["friendster"]

@@ -1,0 +1,28 @@
+"""Table 3 — overall performance on unweighted graphs."""
+
+from repro.bench import tables34
+
+from .conftest import record_table
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(
+        tables34.run, kwargs={"weighted": False}, rounds=1, iterations=1
+    )
+    record_table("table3_unweighted", table)
+
+    speedups = {}
+    for row in table.rows:
+        algorithm, dataset = row[0], row[1]
+        speedups[(algorithm, dataset)] = float(row[4].rstrip("*"))
+
+    # KnightKing wins everywhere.
+    assert all(value > 1.0 for value in speedups.values())
+    # Static gaps are modest (one order of magnitude)...
+    for dataset in ("livejournal", "friendster", "twitter", "ukunion"):
+        assert 1.5 < speedups[("DeepWalk", dataset)] < 30
+    # ...while dynamic gaps on the skewed graphs are far larger.
+    assert speedups[("node2vec", "twitter")] > 2 * speedups[("DeepWalk", "twitter")]
+    assert speedups[("node2vec", "ukunion")] > 2 * speedups[("DeepWalk", "ukunion")]
+    # Meta-path also pays the full-scan price.
+    assert speedups[("Meta-path", "friendster")] > speedups[("DeepWalk", "friendster")]

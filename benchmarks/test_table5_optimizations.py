@@ -1,0 +1,31 @@
+"""Table 5 — lower-bound and outlier optimizations on node2vec."""
+
+from repro.bench import table5
+
+from .conftest import record_table
+
+
+def test_table5a(benchmark):
+    table = benchmark.pedantic(table5.run_5a, rounds=1, iterations=1)
+    record_table("table5a_lower_bound", table)
+
+    evals = [float(v) for v in table.column("edges/step")]
+    # Rows come in (naive, lower-bound) pairs per (p, q) setting.
+    for naive, lower in zip(evals[::2], evals[1::2]):
+        assert lower <= naive
+    # p=0.5, q=2 is the most expensive setting under naive sampling.
+    assert evals[2] == max(evals)
+    # p=1, q=1 with the lower bound needs zero Pd evaluations (paper: 0.00).
+    assert evals[5] == 0.0
+
+
+def test_table5b(benchmark):
+    table = benchmark.pedantic(table5.run_5b, rounds=1, iterations=1)
+    record_table("table5b_outlier_ablation", table)
+
+    evals = {row[0]: float(row[2]) for row in table.rows}
+    # Paper ordering: naive (3.60) > L (2.70) > O (1.81) > L+O (0.91).
+    assert evals["naive"] > evals["L"] > evals["O"] > evals["L+O"]
+    # Combined optimizations cut evaluations by well over half
+    # (paper: 75% reduction).
+    assert evals["L+O"] < 0.45 * evals["naive"]

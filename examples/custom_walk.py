@@ -1,0 +1,104 @@
+"""Defining a new random walk algorithm with the WalkerProgram API.
+
+This example implements a *hub-averse* walk from scratch — an algorithm
+the library does not ship — using exactly the hooks the paper's API
+exposes (edgeStaticComp / edgeDynamicComp / bounds):
+
+* Ps: uniform (unbiased candidates);
+* Pd(e) = 1 / sqrt(out_degree(target(e))) — the walker prefers quiet
+  neighbourhoods over celebrity hubs, a useful bias when sampling
+  training data from skewed social graphs;
+* bounds: because Pd depends only on static graph structure here, tight
+  *per-vertex* envelopes can be pre-computed: Q(v) is the max of Pd over
+  v's out-edges and L(v) the min.  This shows off non-constant bounds —
+  node2vec only ever needed constants.
+
+Note the division of labour: the program supplies three small
+functions, and the engine delivers exact sampling with near-one trials
+per step on any topology.
+
+Run with:  python examples/custom_walk.py
+"""
+
+import numpy as np
+
+from repro import WalkConfig, WalkEngine, WalkerProgram
+from repro.graph import twitter_like
+
+
+class HubAverseWalk(WalkerProgram):
+    """Walk biased away from high-degree vertices."""
+
+    name = "hub-averse"
+    dynamic = True
+    order = 1
+    supports_batch = True
+
+    # --- Pd: prefer low-degree targets ------------------------------
+    def edge_dynamic_comp(self, graph, walker, edge_index, query_result=None):
+        degree = graph.out_degree(int(graph.targets[edge_index]))
+        return 1.0 / np.sqrt(max(degree, 1))
+
+    def batch_dynamic_comp(self, graph, walkers, walker_ids, candidate_edges):
+        degrees = graph.out_degrees()[graph.targets[candidate_edges]]
+        return 1.0 / np.sqrt(np.maximum(degrees, 1))
+
+    # --- tight per-vertex bounds, pre-computed at init --------------
+    def upper_bound_array(self, graph):
+        return self._bound(graph, np.maximum.reduceat)
+
+    def lower_bound_array(self, graph):
+        return self._bound(graph, np.minimum.reduceat)
+
+    @staticmethod
+    def _bound(graph, reducer):
+        values = 1.0 / np.sqrt(
+            np.maximum(graph.out_degrees()[graph.targets], 1)
+        )
+        bounds = np.ones(graph.num_vertices)
+        starts = graph.offsets[:-1]
+        nonempty = graph.out_degrees() > 0
+        if nonempty.any():
+            reduced = reducer(values, starts[nonempty])
+            bounds[nonempty] = reduced
+        return bounds
+
+
+def mean_visited_degree(graph, paths):
+    degrees = graph.out_degrees()
+    total = count = 0
+    for path in paths:
+        total += int(degrees[path[1:]].sum())
+        count += len(path) - 1
+    return total / max(count, 1)
+
+
+def main() -> None:
+    graph = twitter_like(scale=0.25)
+    print(f"graph: {graph}")
+    print(f"degrees: {graph.degree_stats()}")
+
+    config = WalkConfig(num_walkers=2000, max_steps=30, record_paths=True, seed=5)
+
+    plain = WalkEngine(graph, WalkerProgram(), config).run()
+    averse = WalkEngine(graph, HubAverseWalk(), config).run()
+
+    print(f"\nplain walk:      {plain.stats.summary()}")
+    print(f"hub-averse walk: {averse.stats.summary()}")
+    print(
+        f"\nmean degree of visited vertices, plain:      "
+        f"{mean_visited_degree(graph, plain.paths):8.1f}"
+    )
+    print(
+        f"mean degree of visited vertices, hub-averse: "
+        f"{mean_visited_degree(graph, averse.paths):8.1f}"
+    )
+    print(
+        "\nThe custom bias steers walkers away from celebrity hubs, and "
+        f"costs only {averse.stats.pd_evaluations_per_step:.2f} Pd "
+        "evaluations per step thanks to the tight per-vertex envelopes."
+    )
+
+
+if __name__ == "__main__":
+    main()

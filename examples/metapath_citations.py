@@ -1,0 +1,73 @@
+"""Meta-path walks over a heterogeneous bibliographic network.
+
+The paper motivates meta-paths with a publications graph: to probe
+citation relationships between *authors*, constrain the walk to the
+cyclic pattern
+
+    writes -> cites -> written-by
+
+so every third stop is again an author, reached through a paper that
+cites one of the previous author's papers.  This example builds such a
+graph, runs the constrained walk, and aggregates which authors are most
+often reached from a seed author — a simple citation-influence measure.
+
+Run with:  python examples/metapath_citations.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import WalkConfig, WalkEngine
+from repro.algorithms import MetaPathWalk
+from repro.graph import BibliographicSchema, bibliographic_graph
+
+
+def main() -> None:
+    schema = BibliographicSchema()
+    num_authors = 200
+    graph = bibliographic_graph(
+        num_authors=num_authors,
+        num_papers=600,
+        papers_per_author=5,
+        citations_per_paper=4,
+        seed=11,
+    )
+    print(f"graph: {graph} ({num_authors} authors, 600 papers)")
+
+    # The paper's example scheme, as a cyclic edge-type template.
+    scheme = [schema.EDGE_WRITES, schema.EDGE_CITES, schema.EDGE_WRITTEN_BY]
+    program = MetaPathWalk([scheme])
+
+    seed_author = 17
+    num_walkers = 5000
+    config = WalkConfig(
+        num_walkers=num_walkers,
+        max_steps=9,  # three full scheme cycles
+        record_paths=True,
+        seed=2,
+        start_vertices=np.full(num_walkers, seed_author, dtype=np.int64),
+    )
+    result = WalkEngine(graph, program, config).run()
+    print(f"walks: {result.stats.summary()}")
+    print(
+        f"dead-ended walks (no edge of the required type): "
+        f"{result.stats.termination.by_dead_end}"
+    )
+
+    # Authors visited at scheme-cycle boundaries (positions 3, 6, 9).
+    influence: Counter[int] = Counter()
+    for path in result.paths:
+        for position in range(3, len(path), 3):
+            author = int(path[position])
+            if author != seed_author:
+                influence[author] += 1
+
+    print(f"\nauthors most cited (transitively) by author {seed_author}:")
+    for author, count in influence.most_common(8):
+        assert graph.vertex_types[author] == schema.VERTEX_AUTHOR
+        print(f"  author {author:4d}  reached {count:4d} times")
+
+
+if __name__ == "__main__":
+    main()

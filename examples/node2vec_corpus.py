@@ -1,0 +1,68 @@
+"""node2vec corpus generation: the BFS/DFS knob in action.
+
+node2vec's p (return) and q (in-out) hyper-parameters shape the walks:
+low q explores outwards (DFS-like), high q stays local (BFS-like).
+This example generates walk corpora under both regimes on a skewed
+social-graph stand-in and quantifies the difference directly on the
+walks — the number of *distinct* vertices each walk touches, and how
+often walks immediately backtrack.
+
+The corpora this produces are exactly what one would feed to a
+skip-gram trainer for network embeddings.
+
+Run with:  python examples/node2vec_corpus.py
+"""
+
+import numpy as np
+
+from repro import WalkConfig, WalkEngine
+from repro.algorithms import Node2Vec
+from repro.graph import friendster_like
+
+
+def corpus_statistics(paths) -> tuple[float, float]:
+    """(mean distinct vertices per walk, immediate-backtrack rate)."""
+    distinct = []
+    backtracks = 0
+    transitions = 0
+    for path in paths:
+        distinct.append(len(set(path.tolist())))
+        for position in range(2, len(path)):
+            transitions += 1
+            if path[position] == path[position - 2]:
+                backtracks += 1
+    return float(np.mean(distinct)), backtracks / max(transitions, 1)
+
+
+def main() -> None:
+    graph = friendster_like(scale=0.2)
+    print(f"graph: {graph}")
+
+    settings = {
+        "exploratory (p=4, q=0.25, DFS-like)": dict(p=4.0, q=0.25),
+        "local       (p=0.25, q=4, BFS-like)": dict(p=0.25, q=4.0),
+    }
+    config = WalkConfig(
+        num_walkers=2000, max_steps=40, record_paths=True, seed=3
+    )
+
+    print(f"{'setting':44}  distinct/walk  backtrack rate  edges/step")
+    for label, params in settings.items():
+        program = Node2Vec(biased=False, **params)
+        result = WalkEngine(graph, program, config).run()
+        distinct, backtrack = corpus_statistics(result.paths)
+        print(
+            f"{label:44}  {distinct:13.1f}  {backtrack:14.3f}  "
+            f"{result.stats.pd_evaluations_per_step:10.2f}"
+        )
+
+    print(
+        "\nThe exploratory setting covers far more distinct vertices per "
+        "walk;\nthe local setting revisits and backtracks - exactly the "
+        "node2vec paper's\nBFS/DFS interpolation, produced here with exact "
+        "rejection sampling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: run your first random walk with the repro engine.
+
+Builds a small social-network-like graph, runs DeepWalk-style truncated
+random walks over it, and prints the engine's statistics along with a
+few of the generated walk sequences.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import WalkConfig, WalkEngine
+from repro.algorithms import DeepWalk
+from repro.graph import assign_random_weights, truncated_power_law_graph
+
+
+def main() -> None:
+    # A 2000-vertex graph with a power-law degree distribution, made
+    # undirected and weighted - the typical shape of real social data.
+    graph = truncated_power_law_graph(
+        num_vertices=2000,
+        exponent=2.1,
+        min_degree=3,
+        max_degree=150,
+        seed=7,
+        undirected=True,
+    )
+    graph = assign_random_weights(graph, seed=8)
+    print(f"graph: {graph}")
+    print(f"degrees: {graph.degree_stats()}")
+
+    # One walker per vertex, 20 steps each, biased by edge weight.
+    config = WalkConfig(max_steps=20, record_paths=True, seed=1)
+    engine = WalkEngine(graph, DeepWalk(), config)
+    result = engine.run()
+
+    print(f"\nwalk finished: {result.stats.summary()}")
+    print(f"termination: {result.stats.termination}")
+    print("\nfirst three walk sequences:")
+    for path in result.paths[:3]:
+        print("  " + " -> ".join(str(v) for v in path[:10]) + " ...")
+
+
+if __name__ == "__main__":
+    main()

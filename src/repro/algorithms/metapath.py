@@ -1,0 +1,126 @@
+"""Meta-path constrained random walk (paper section 2.2, Eq. 1).
+
+Meta-path algorithms (metapath2vec and relatives) walk heterogeneous
+graphs under a *scheme*: a cyclic pattern of edge types that each step
+must follow.  At the k-th step a walker assigned scheme ``S`` may only
+take edges of type ``S[k mod |S|]`` — a *dynamic, first-order* walk:
+the transition distribution depends on walker state (its scheme and
+step counter) but not on previously visited vertices.
+
+The paper's evaluation uses 5 edge types and 10 cyclic schemes of
+length 5, each walker assigned one scheme at random
+(:func:`random_schemes` reproduces that setup).
+
+Pd is an indicator (0 or 1), so the rejection envelope is 1 and the
+expected trials per step equal (total static mass) / (eligible static
+mass).  A vertex may have *no* eligible out-edges for the walker's
+current required type — the engines' zero-mass guard then terminates
+the walk, per the paper's "no out edges with positive transition
+probability" rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.program import WalkerProgram
+from repro.core.walker import WalkerSet, WalkerView
+from repro.errors import ProgramError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["MetaPathWalk", "random_schemes"]
+
+SCHEME_STATE = "metapath_scheme"
+
+
+def random_schemes(
+    num_schemes: int,
+    scheme_length: int,
+    num_types: int,
+    seed: int,
+) -> list[list[int]]:
+    """Random cyclic schemes, the evaluation's workload generator
+    (10 schemes of length 5 over 5 edge types in the paper)."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, num_types, size=scheme_length).astype(int).tolist()
+        for _ in range(num_schemes)
+    ]
+
+
+class MetaPathWalk(WalkerProgram):
+    """Dynamic first-order walk constrained by cyclic type schemes."""
+
+    name = "metapath"
+    dynamic = True
+    order = 1
+    supports_batch = True
+
+    def __init__(self, schemes: Sequence[Sequence[int]]) -> None:
+        if not schemes:
+            raise ProgramError("at least one meta-path scheme is required")
+        if any(len(scheme) == 0 for scheme in schemes):
+            raise ProgramError("schemes must be non-empty")
+        self.schemes = [list(scheme) for scheme in schemes]
+        lengths = np.asarray([len(scheme) for scheme in self.schemes], dtype=np.int64)
+        matrix = np.full((len(schemes), int(lengths.max())), -1, dtype=np.int32)
+        for row, scheme in enumerate(self.schemes):
+            matrix[row, : len(scheme)] = scheme
+        self._matrix = matrix
+        self._lengths = lengths
+
+    # ------------------------------------------------------------------
+    def setup_walkers(
+        self, graph: CSRGraph, walkers: WalkerSet, rng: np.random.Generator
+    ) -> None:
+        """Assign each walker one scheme uniformly at random."""
+        if graph.edge_types is None:
+            raise ProgramError("MetaPathWalk needs a graph with edge types")
+        assignment = rng.integers(
+            0, len(self.schemes), size=walkers.num_walkers, dtype=np.int64
+        )
+        walkers.add_state(SCHEME_STATE, assignment)
+
+    def required_type(self, scheme_id: int, step: int) -> int:
+        """Edge type scheme ``scheme_id`` demands at ``step``."""
+        scheme = self.schemes[scheme_id]
+        return scheme[step % len(scheme)]
+
+    # ------------------------------------------------------------------
+    def edge_dynamic_comp(
+        self,
+        graph: CSRGraph,
+        walker: WalkerView,
+        edge_index: int,
+        query_result: object | None = None,
+    ) -> float:
+        scheme_id = int(walker.state(SCHEME_STATE))
+        required = self.required_type(scheme_id, walker.step)
+        assert graph.edge_types is not None
+        return 1.0 if int(graph.edge_types[edge_index]) == required else 0.0
+
+    def dynamic_upper_bound(self, graph: CSRGraph, vertex: int) -> float:
+        return 1.0
+
+    def upper_bound_array(self, graph: CSRGraph) -> np.ndarray:
+        return np.ones(graph.num_vertices, dtype=np.float64)
+
+    def lower_bound_array(self, graph: CSRGraph) -> np.ndarray:
+        return np.zeros(graph.num_vertices, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def batch_dynamic_comp(
+        self,
+        graph: CSRGraph,
+        walkers: WalkerSet,
+        walker_ids: np.ndarray,
+        candidate_edges: np.ndarray,
+    ) -> np.ndarray:
+        assert graph.edge_types is not None
+        scheme_ids = walkers.state(SCHEME_STATE)[walker_ids]
+        steps = walkers.steps[walker_ids]
+        positions = steps % self._lengths[scheme_ids]
+        required = self._matrix[scheme_ids, positions]
+        return (graph.edge_types[candidate_edges] == required).astype(np.float64)

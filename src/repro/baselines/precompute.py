@@ -1,0 +1,156 @@
+"""The infeasible second-order precompute baseline (paper section 3).
+
+Static-walk optimizations (ITS arrays, alias tables) can in principle
+be extended to second-order walks by precomputing one table per
+*(previous vertex, current vertex)* state — i.e. one table per directed
+edge, each of size ``out_degree(current)``.  The paper notes this needs
+about **970 TB** (ITS) or **1.89 PB** (alias) for node2vec on the 11 GB
+Twitter graph, which is why pre-processing systems "are known to not
+scale well".
+
+This module provides both halves of that claim:
+
+* :func:`second_order_table_entries` / :func:`second_order_table_bytes`
+  — the analytic memory estimator, applicable to any graph (and to
+  Table 2's published Twitter statistics, reproducing the paper's
+  numbers); and
+* :class:`PrecomputedNode2Vec` — an actual implementation that builds
+  every per-edge alias table, usable only on tiny graphs, serving as an
+  exact-sampling oracle in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.walker import NO_VERTEX
+from repro.errors import SamplingError
+from repro.graph.csr import CSRGraph
+from repro.sampling.alias import AliasTable
+
+__all__ = [
+    "second_order_table_entries",
+    "second_order_table_bytes",
+    "estimate_from_degree_stats",
+    "ITS_BYTES_PER_ENTRY",
+    "ALIAS_BYTES_PER_ENTRY",
+    "PrecomputedNode2Vec",
+]
+
+# One float32 CDF value per entry for ITS; alias needs a probability
+# plus an alias index (float32 + int32).
+ITS_BYTES_PER_ENTRY = 4
+ALIAS_BYTES_PER_ENTRY = 8
+
+
+def second_order_table_entries(graph: CSRGraph) -> int:
+    """Entries needed to precompute all second-order distributions.
+
+    One table per directed edge (t -> v), each with ``out_degree(v)``
+    entries: total = sum over edges of the destination's out-degree.
+    """
+    degrees = graph.out_degrees()
+    return int(degrees[graph.targets].sum())
+
+
+def second_order_table_bytes(
+    graph: CSRGraph, bytes_per_entry: int = ITS_BYTES_PER_ENTRY
+) -> int:
+    """Precompute memory in bytes for a given table representation."""
+    return second_order_table_entries(graph) * bytes_per_entry
+
+
+def estimate_from_degree_stats(
+    num_vertices: int,
+    degree_mean: float,
+    degree_variance: float,
+    bytes_per_entry: int = ITS_BYTES_PER_ENTRY,
+) -> float:
+    """Estimate precompute bytes from published degree statistics.
+
+    For an undirected graph, ``sum over edges (t,v) of deg(v)`` equals
+    ``sum over v of deg(v)^2 = |V| * (variance + mean^2)``.  Plugging in
+    Table 2's Twitter numbers (|V| = 41.7M, mean 70.4, variance 6.42e6)
+    gives about 1.07 PB for ITS and 2.1 PB for alias — the order of
+    magnitude of the paper's 970 TB / 1.89 PB claim.
+    """
+    second_moment = degree_variance + degree_mean**2
+    return num_vertices * second_moment * bytes_per_entry
+
+
+class PrecomputedNode2Vec:
+    """Exact node2vec sampling from fully precomputed alias tables.
+
+    Builds one alias table per (previous, current) edge state plus one
+    per start vertex.  Memory is O(sum over edges of deg(target)) —
+    fine for toy graphs, impossible at scale, which is the point.
+    Used in tests as an exact-distribution oracle for the rejection
+    sampler.
+    """
+
+    def __init__(
+        self, graph: CSRGraph, p: float, q: float, biased: bool = True
+    ) -> None:
+        self.graph = graph
+        self.p = float(p)
+        self.q = float(q)
+        return_pd = 1.0 / self.p
+        inout_pd = 1.0 / self.q
+
+        static = (
+            graph.weights
+            if (biased and graph.weights is not None)
+            else np.ones(graph.num_edges, dtype=np.float64)
+        )
+        self._start_tables: dict[int, AliasTable] = {}
+        self._state_tables: dict[tuple[int, int], AliasTable] = {}
+        self.table_entries = 0
+
+        for current in range(graph.num_vertices):
+            start, end = graph.edge_range(current)
+            if start == end:
+                continue
+            weights = static[start:end].astype(np.float64)
+            if weights.sum() > 0:
+                self._start_tables[current] = AliasTable(weights)
+                self.table_entries += weights.size
+            neighbours = graph.targets[start:end]
+            # One table per possible previous vertex of `current`.
+            for previous in np.unique(graph.targets[start:end]):
+                previous = int(previous)
+                if not graph.has_edge(previous, current):
+                    continue
+                dynamic = np.empty(end - start, dtype=np.float64)
+                for offset, candidate in enumerate(neighbours):
+                    candidate = int(candidate)
+                    if candidate == previous:
+                        dynamic[offset] = return_pd
+                    elif graph.has_edge(previous, candidate):
+                        dynamic[offset] = 1.0
+                    else:
+                        dynamic[offset] = inout_pd
+                mass = weights * dynamic
+                if mass.sum() > 0:
+                    self._state_tables[(previous, current)] = AliasTable(mass)
+                    self.table_entries += mass.size
+
+    def sample(
+        self, current: int, previous: int, rng: np.random.Generator
+    ) -> int:
+        """Draw the next vertex exactly; O(1) per draw, as the paper's
+        hypothetical precompute baseline would."""
+        if previous == NO_VERTEX:
+            table = self._start_tables.get(current)
+        else:
+            table = self._state_tables.get((previous, current))
+        if table is None:
+            raise SamplingError(
+                f"no precomputed table for state ({previous}, {current})"
+            )
+        start, _ = self.graph.edge_range(current)
+        return int(self.graph.targets[start + table.sample(rng)])
+
+    def memory_bytes(self, bytes_per_entry: int = ALIAS_BYTES_PER_ENTRY) -> int:
+        """Bytes the precomputed tables would occupy in a compact
+        (non-Python) representation."""
+        return self.table_entries * bytes_per_entry

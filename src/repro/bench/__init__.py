@@ -1,0 +1,35 @@
+"""Benchmark harness: one runner per paper table/figure.
+
+Each module exposes ``run(...)`` returning a
+:class:`~repro.bench.reporting.ResultTable` that prints the paper-style
+rows; the pytest-benchmark wrappers in ``benchmarks/`` drive them and
+archive the outputs.  See DESIGN.md's experiment index for the mapping.
+"""
+
+from repro.bench import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    memory,
+    navrate,
+    table1,
+    table5,
+    tables34,
+)
+from repro.bench.reporting import ResultTable
+
+__all__ = [
+    "ResultTable",
+    "table1",
+    "tables34",
+    "table5",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "memory",
+    "navrate",
+]

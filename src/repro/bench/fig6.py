@@ -1,0 +1,166 @@
+"""Figure 6 — sampling overhead vs graph topology.
+
+Three sweeps on synthetic graphs, comparing traditional full-scan
+sampling against KnightKing's rejection sampling; the metric is Pd
+evaluations per walker step (the paper's "number of calculating
+per-edge transition probabilities needed for walking one step"):
+
+* 6a — uniform-degree graphs, growing density: full-scan cost grows
+  linearly with degree, rejection stays constant (~0.75);
+* 6b — truncated power-law graphs, growing truncation bound: full-scan
+  cost grows much faster than the mean degree (the paper sees 67x cost
+  growth for 3.9x mean-degree growth), rejection flat;
+* 6c — a uniform graph plus high-degree hotspots: full-scan cost grows
+  linearly with the *number of hotspots*, rejection flat.
+
+All sweeps use unbiased node2vec (p = 2, q = 0.5), the paper's running
+example of dynamic walks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algorithms import Node2Vec
+from repro.baselines import FullScanWalkEngine
+from repro.bench.reporting import ResultTable
+from repro.bench.workloads import NODE2VEC_P, NODE2VEC_Q
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    hotspot_graph,
+    truncated_power_law_graph,
+    uniform_degree_graph,
+)
+
+__all__ = ["run_6a", "run_6b", "run_6c", "measure_overheads"]
+
+
+def measure_overheads(
+    graph: CSRGraph,
+    walk_length: int,
+    num_walkers: int,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """(full-scan, KnightKing) Pd evaluations per step on ``graph``."""
+    program = Node2Vec(p=NODE2VEC_P, q=NODE2VEC_Q, biased=False)
+    config = WalkConfig(
+        num_walkers=num_walkers, max_steps=walk_length, seed=seed
+    )
+    full = FullScanWalkEngine(graph, program, config).run()
+    rejection = WalkEngine(graph, program, config).run()
+    return (
+        full.stats.pd_evaluations_per_step,
+        rejection.stats.pd_evaluations_per_step,
+    )
+
+
+def run_6a(
+    degrees: Sequence[int] = (10, 20, 40, 80, 160, 320),
+    num_vertices: int = 8000,
+    walk_length: int = 20,
+    num_walkers: int = 400,
+    seed: int = 0,
+) -> ResultTable:
+    """6a: density sweep over uniform-degree graphs."""
+    table = ResultTable(
+        title="Figure 6a: sampling overhead vs uniform degree",
+        columns=["degree", "full-scan edges/step", "KnightKing edges/step"],
+    )
+    for degree in degrees:
+        graph = uniform_degree_graph(
+            num_vertices, degree, seed=seed + degree, undirected=True
+        )
+        full, rejection = measure_overheads(
+            graph, walk_length, num_walkers, seed=seed
+        )
+        table.add_row(2 * degree, f"{full:.1f}", f"{rejection:.2f}")
+    table.add_note(
+        "full-scan grows linearly with degree; KnightKing stays constant "
+        "(paper: ~0.75 thanks to lower-bound pre-acceptance)"
+    )
+    return table
+
+
+def run_6b(
+    max_degrees: Sequence[int] = (50, 100, 400, 1600, 6400),
+    num_vertices: int = 10000,
+    walk_length: int = 20,
+    num_walkers: int = 400,
+    seed: int = 0,
+) -> ResultTable:
+    """6b: skewness sweep via the power-law truncation bound.
+
+    The paper raises the bound from 100 to 25600 (256x); this sweep
+    covers 128x at simulator scale with the same exponent family.
+    """
+    table = ResultTable(
+        title="Figure 6b: sampling overhead vs power-law truncation bound",
+        columns=[
+            "max degree",
+            "mean degree",
+            "full-scan edges/step",
+            "KnightKing edges/step",
+        ],
+    )
+    for max_degree in max_degrees:
+        graph = truncated_power_law_graph(
+            num_vertices,
+            exponent=1.9,
+            min_degree=5,
+            max_degree=max_degree,
+            seed=seed + max_degree,
+            undirected=True,
+        )
+        full, rejection = measure_overheads(
+            graph, walk_length, num_walkers, seed=seed
+        )
+        table.add_row(
+            max_degree,
+            f"{graph.degree_stats().mean:.1f}",
+            f"{full:.1f}",
+            f"{rejection:.2f}",
+        )
+    table.add_note(
+        "full-scan overhead grows far faster than the mean degree "
+        "(paper: 67x cost for 3.9x mean); KnightKing stays constant"
+    )
+    return table
+
+
+def run_6c(
+    hotspot_counts: Sequence[int] = (0, 1, 2, 4, 8),
+    num_vertices: int = 10000,
+    base_degree: int = 20,
+    walk_length: int = 20,
+    num_walkers: int = 400,
+    seed: int = 0,
+) -> ResultTable:
+    """6c: hotspot sweep — a few very popular vertices."""
+    table = ResultTable(
+        title="Figure 6c: sampling overhead vs number of hotspot vertices",
+        columns=[
+            "hotspots",
+            "full-scan edges/step",
+            "KnightKing edges/step",
+        ],
+    )
+    hotspot_degree = num_vertices // 2
+    for count in hotspot_counts:
+        graph = hotspot_graph(
+            num_vertices,
+            base_degree=base_degree,
+            num_hotspots=count,
+            hotspot_degree=hotspot_degree,
+            seed=seed + count,
+        )
+        full, rejection = measure_overheads(
+            graph, walk_length, num_walkers, seed=seed
+        )
+        table.add_row(count, f"{full:.1f}", f"{rejection:.2f}")
+    table.add_note(
+        "full-scan overhead grows linearly with hotspot count (paper: "
+        "100 -> 1977 with two hotspots); KnightKing is 'boring as ever'"
+    )
+    return table

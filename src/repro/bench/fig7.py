@@ -1,0 +1,97 @@
+"""Figure 7 — node2vec scalability, 1 to 8 nodes.
+
+Unbiased node2vec on the Friendster stand-in, run on growing simulated
+clusters with both systems.  As in the paper, each system's times are
+normalized to its own single-node run ("results are normalized to each
+system's single-node run time"), and the KnightKing 1-node baseline's
+absolute advantage over Gemini's is reported alongside (paper: 20.9x).
+Both systems scale similarly though not linearly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algorithms import Node2Vec
+from repro.baselines import GeminiWalkEngine
+from repro.bench.reporting import ResultTable
+from repro.bench.workloads import (
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    extrapolate_walkers,
+)
+from repro.cluster import DistributedWalkEngine
+from repro.core.config import WalkConfig
+from repro.graph.datasets import load_dataset
+
+__all__ = ["run", "scaling_series"]
+
+
+def scaling_series(
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    scale: float = 0.25,
+    walk_length: int = 40,
+    gemini_fraction: float = 0.1,
+    seed: int = 0,
+) -> tuple[list[float], list[float]]:
+    """(KnightKing, Gemini) simulated seconds per cluster size."""
+    graph = load_dataset("friendster", scale=scale)
+    program_args = dict(p=NODE2VEC_P, q=NODE2VEC_Q, biased=False)
+
+    knightking_times = []
+    gemini_times = []
+    for nodes in node_counts:
+        kk_config = WalkConfig(
+            num_walkers=graph.num_vertices, max_steps=walk_length, seed=seed
+        )
+        kk = DistributedWalkEngine(
+            graph, Node2Vec(**program_args), kk_config, num_nodes=nodes
+        ).run()
+        knightking_times.append(kk.cluster.simulated_seconds)
+
+        sampled = max(1, int(graph.num_vertices * gemini_fraction))
+        gem_config = WalkConfig(
+            num_walkers=sampled, max_steps=walk_length, seed=seed
+        )
+        gem = GeminiWalkEngine(
+            graph, Node2Vec(**program_args), gem_config, num_nodes=nodes
+        ).run()
+        gemini_times.append(
+            extrapolate_walkers(gem.cluster.simulated_seconds, gemini_fraction)
+        )
+    return knightking_times, gemini_times
+
+
+def run(
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    scale: float = 0.25,
+    seed: int = 0,
+) -> ResultTable:
+    """Regenerate Figure 7."""
+    knightking, gemini = scaling_series(
+        node_counts=node_counts, scale=scale, seed=seed
+    )
+    table = ResultTable(
+        title="Figure 7: node2vec scalability on Friendster stand-in "
+        "(normalized to each system's 1-node time)",
+        columns=[
+            "nodes",
+            "KnightKing speedup",
+            "Gemini speedup",
+            "KnightKing (s)",
+            "Gemini (s)",
+        ],
+    )
+    for index, nodes in enumerate(node_counts):
+        table.add_row(
+            nodes,
+            f"{knightking[0] / knightking[index]:.2f}",
+            f"{gemini[0] / gemini[index]:.2f}",
+            f"{knightking[index]:.3f}",
+            f"{gemini[index]:.3f}",
+        )
+    table.add_note(
+        f"KnightKing 1-node baseline advantage over Gemini: "
+        f"{gemini[0] / knightking[0]:.1f}x (paper: 20.9x)"
+    )
+    return table

@@ -1,0 +1,111 @@
+"""Figure 9 — impact of straggler-aware scheduling (light mode).
+
+PPR (Pt = 0.149, the PowerWalk setting) and unbiased node2vec on the
+LiveJournal/Friendster/Twitter stand-ins, with the light-mode
+optimization on vs off.  The paper reports up to 66.1% execution-time
+reduction (average 37.2% for PPR, 16.3% for node2vec), with the
+largest gains on the smallest graph, where the long tail is a bigger
+share of the run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algorithms import Node2Vec, POWERWALK_TERMINATION, PPR
+from repro.bench.reporting import ResultTable
+from repro.bench.workloads import NODE2VEC_P, NODE2VEC_Q
+from repro.cluster import DistributedWalkEngine, ThreadPolicy
+from repro.core.config import WalkConfig
+from repro.graph.datasets import load_dataset
+
+__all__ = ["run", "straggler_pair"]
+
+NUM_NODES = 8
+
+
+def straggler_pair(
+    dataset: str,
+    algorithm: str,
+    scale: float,
+    seed: int = 0,
+    threshold: int | None = None,
+) -> tuple[float, float]:
+    """(baseline, light-mode) simulated seconds for one workload.
+
+    The paper's absolute threshold (4000 active walkers per node) is
+    calibrated to multi-million-walker runs; at simulator scale the
+    equivalent knee — where per-superstep thread overhead overtakes the
+    parallel-work saving — sits at a fixed fraction of the initial
+    per-node walker count, so the default threshold is 25% of
+    walkers/node (capped like the paper's absolute setting).
+    """
+    graph = load_dataset(dataset, scale=scale)
+    if threshold is None:
+        threshold = max(32, min(4000, graph.num_vertices // NUM_NODES // 4))
+    if algorithm == "ppr":
+        program_factory = PPR
+        config = WalkConfig(
+            num_walkers=graph.num_vertices,
+            max_steps=None,
+            termination_probability=POWERWALK_TERMINATION,
+            seed=seed,
+        )
+    elif algorithm == "node2vec":
+        program_factory = lambda: Node2Vec(  # noqa: E731 - tiny factory
+            p=NODE2VEC_P, q=NODE2VEC_Q, biased=False
+        )
+        config = WalkConfig(
+            num_walkers=graph.num_vertices, max_steps=40, seed=seed
+        )
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    times = []
+    for light in (False, True):
+        engine = DistributedWalkEngine(
+            graph,
+            program_factory(),
+            config,
+            num_nodes=NUM_NODES,
+            thread_policy=ThreadPolicy(light_mode=light, threshold=threshold),
+        )
+        times.append(engine.run().cluster.simulated_seconds)
+    return times[0], times[1]
+
+
+def run(
+    datasets: Sequence[str] = ("livejournal", "friendster", "twitter"),
+    scale: float = 0.3,
+    seed: int = 0,
+) -> ResultTable:
+    """Regenerate Figure 9."""
+    table = ResultTable(
+        title="Figure 9: straggler-aware scheduling (light mode), "
+        "simulated seconds on 8 nodes",
+        columns=[
+            "algorithm",
+            "graph",
+            "baseline (s)",
+            "light mode (s)",
+            "reduction",
+        ],
+    )
+    for algorithm in ("ppr", "node2vec"):
+        for dataset in datasets:
+            baseline, light = straggler_pair(
+                dataset, algorithm, scale=scale, seed=seed
+            )
+            reduction = 100.0 * (1.0 - light / baseline)
+            table.add_row(
+                algorithm,
+                dataset,
+                f"{baseline:.4f}",
+                f"{light:.4f}",
+                f"{reduction:.1f}%",
+            )
+    table.add_note(
+        "paper: up to 66.1% reduction, average 37.2% (PPR) / 16.3% "
+        "(node2vec), largest on the smallest graph"
+    )
+    return table

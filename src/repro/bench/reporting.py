@@ -1,0 +1,76 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every experiment runner returns a :class:`ResultTable` whose
+``format()`` output mirrors the corresponding paper table/figure as
+rows of aligned text, plus free-form notes (e.g. extrapolation
+disclaimers, matching the paper's ``*`` convention for estimated
+entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResultTable", "format_seconds", "format_speedup"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scale seconds with sensible precision."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_speedup(value: float, estimated: bool = False) -> str:
+    """The paper's speedup column style, with ``*`` for extrapolated
+    entries (its convention for runs too slow to complete)."""
+    text = f"{value:.2f}" if value < 100 else f"{value:.0f}"
+    return f"{text}*" if estimated else text
+
+
+@dataclass
+class ResultTable:
+    """An experiment's output: header, rows, and notes."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[str]:
+        """All values of one column, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        parts = [self.title, "=" * len(self.title), line(self.columns)]
+        parts.append(line(["-" * width for width in widths]))
+        parts.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.format()

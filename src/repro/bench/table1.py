@@ -1,0 +1,85 @@
+"""Table 1 — node2vec sampling overhead, full-scan vs KnightKing.
+
+Paper numbers (per walker step, Pd evaluations):
+
+    Friendster: full-scan 361   edges/step, KnightKing 0.77
+    Twitter:    full-scan 92202 edges/step, KnightKing 0.79
+
+The experiment runs unbiased node2vec (p = 2, q = 0.5, the overall-
+performance default) on the Friendster and Twitter stand-ins with both
+engines and reports the same metric.  Full-scan runs use a sampled
+walker fraction — edges/step is a per-step average, so subsampling
+walkers does not bias it.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Node2Vec
+from repro.bench.reporting import ResultTable
+from repro.bench.workloads import NODE2VEC_P, NODE2VEC_Q
+from repro.baselines import FullScanWalkEngine
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.graph.datasets import load_dataset
+
+__all__ = ["run"]
+
+PAPER = {
+    "friendster": (361.0, 0.77),
+    "twitter": (92202.0, 0.79),
+}
+
+
+def run(
+    scale: float = 1.0,
+    walk_length: int = 30,
+    full_scan_fraction: float = 0.03,
+    seed: int = 0,
+) -> ResultTable:
+    """Regenerate Table 1 on the dataset stand-ins."""
+    table = ResultTable(
+        title="Table 1: node2vec sampling overhead (Pd evaluations per step)",
+        columns=[
+            "graph",
+            "deg mean",
+            "deg variance",
+            "full-scan edges/step",
+            "KnightKing edges/step",
+            "paper (full-scan / KK)",
+        ],
+    )
+    for dataset in ("friendster", "twitter"):
+        graph = load_dataset(dataset, scale=scale)
+        stats = graph.degree_stats()
+        program = Node2Vec(p=NODE2VEC_P, q=NODE2VEC_Q, biased=False)
+
+        sampled = max(1, int(graph.num_vertices * full_scan_fraction))
+        full_cfg = WalkConfig(
+            num_walkers=sampled, max_steps=walk_length, seed=seed
+        )
+        full = FullScanWalkEngine(graph, program, full_cfg).run()
+
+        kk_cfg = WalkConfig(
+            num_walkers=graph.num_vertices, max_steps=walk_length, seed=seed
+        )
+        knightking = WalkEngine(graph, program, kk_cfg).run()
+
+        paper_full, paper_kk = PAPER[dataset]
+        table.add_row(
+            dataset,
+            f"{stats.mean:.1f}",
+            f"{stats.variance:.3g}",
+            f"{full.stats.pd_evaluations_per_step:.1f}",
+            f"{knightking.stats.pd_evaluations_per_step:.2f}",
+            f"{paper_full:g} / {paper_kk:g}",
+        )
+    table.add_note(
+        f"stand-in graphs at scale={scale}; absolute full-scan overheads "
+        "shrink with graph size, the full-scan >> KnightKing gap and its "
+        "growth with skew are the reproduced claims"
+    )
+    table.add_note(
+        f"full-scan measured over a {full_scan_fraction:.0%} walker sample "
+        "(edges/step is a per-step average; sampling walkers is unbiased)"
+    )
+    return table

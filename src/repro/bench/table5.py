@@ -1,0 +1,124 @@
+"""Table 5 — rejection-sampling optimizations on node2vec.
+
+Unbiased node2vec on the Twitter stand-in, varying the hyper-parameters
+and the two section-4.2 optimizations.
+
+Table 5a (lower bound vs naive, three (p, q) settings); paper numbers
+for edges/step:
+
+    p=2,q=0.5: naive 1.05 -> lower bound 0.79
+    p=0.5,q=2: naive 3.60 -> lower bound 2.70
+    p=1,q=1:   naive 1.00 -> lower bound 0.00
+
+Table 5b (all variants at the adversarial p=0.5, q=2): naive 3.60,
+L 2.70, O 1.81, L+O 0.91.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import Node2Vec
+from repro.bench.reporting import ResultTable
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.graph.datasets import load_dataset
+
+__all__ = ["run_5a", "run_5b", "run_variant"]
+
+SETTINGS_5A = ((2.0, 0.5), (0.5, 2.0), (1.0, 1.0))
+PAPER_5A = {
+    (2.0, 0.5): (1.05, 0.79),
+    (0.5, 2.0): (3.60, 2.70),
+    (1.0, 1.0): (1.00, 0.00),
+}
+PAPER_5B = {"naive": 3.60, "L": 2.70, "O": 1.81, "L+O": 0.91}
+
+
+def run_variant(
+    graph,
+    p: float,
+    q: float,
+    lower_bound: bool,
+    outlier: bool,
+    walk_length: int,
+    num_walkers: int,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """(wall seconds, Pd evaluations/step) for one optimization mix."""
+    program = Node2Vec(p=p, q=q, biased=False, fold_outlier=outlier)
+    config = WalkConfig(
+        num_walkers=num_walkers, max_steps=walk_length, seed=seed
+    )
+    engine = WalkEngine(graph, program, config, use_lower_bound=lower_bound)
+    result = engine.run()
+    return (
+        result.stats.wall_time_seconds + result.stats.init_time_seconds,
+        result.stats.pd_evaluations_per_step,
+    )
+
+
+def run_5a(
+    scale: float = 0.4,
+    walk_length: int = 40,
+    walker_fraction: float = 0.5,
+    seed: int = 0,
+) -> ResultTable:
+    """Table 5a: lower-bound pre-acceptance across (p, q) settings."""
+    graph = load_dataset("twitter", scale=scale)
+    num_walkers = max(1, int(graph.num_vertices * walker_fraction))
+    table = ResultTable(
+        title="Table 5a: impact of lower bound, unbiased node2vec "
+        "(Twitter stand-in)",
+        columns=[
+            "p, q",
+            "variant",
+            "time (s)",
+            "edges/step",
+            "paper edges/step",
+        ],
+    )
+    for p, q in SETTINGS_5A:
+        paper_naive, paper_lower = PAPER_5A[(p, q)]
+        for variant, lower in (("naive", False), ("lower bound", True)):
+            seconds, evals = run_variant(
+                graph, p, q, lower, outlier=False,
+                walk_length=walk_length, num_walkers=num_walkers, seed=seed,
+            )
+            table.add_row(
+                f"p={p:g}, q={q:g}",
+                variant,
+                f"{seconds:.2f}",
+                f"{evals:.2f}",
+                f"{paper_lower if lower else paper_naive:.2f}",
+            )
+    return table
+
+
+def run_5b(
+    scale: float = 0.4,
+    walk_length: int = 40,
+    walker_fraction: float = 0.5,
+    seed: int = 0,
+) -> ResultTable:
+    """Table 5b: outlier folding and lower bound at p=0.5, q=2."""
+    graph = load_dataset("twitter", scale=scale)
+    num_walkers = max(1, int(graph.num_vertices * walker_fraction))
+    table = ResultTable(
+        title="Table 5b: optimization ablation at p=0.5, q=2 "
+        "(Twitter stand-in)",
+        columns=["variant", "time (s)", "edges/step", "paper edges/step"],
+    )
+    variants = (
+        ("naive", False, False),
+        ("L", True, False),
+        ("O", False, True),
+        ("L+O", True, True),
+    )
+    for name, lower, outlier in variants:
+        seconds, evals = run_variant(
+            graph, 0.5, 2.0, lower, outlier,
+            walk_length=walk_length, num_walkers=num_walkers, seed=seed,
+        )
+        table.add_row(
+            name, f"{seconds:.2f}", f"{evals:.2f}", f"{PAPER_5B[name]:.2f}"
+        )
+    return table

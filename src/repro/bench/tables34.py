@@ -1,0 +1,149 @@
+"""Tables 3 & 4 — overall performance, Gemini vs KnightKing.
+
+Four algorithms x four graphs, unweighted (Table 3) and weighted
+(Table 4).  Both systems run on the 8-node cluster simulator with the
+same cost model; the reported metric is simulated seconds and the
+speedup ratio.  The paper's qualitative results to reproduce:
+
+* static walks (DeepWalk, PPR): KnightKing wins by one order of
+  magnitude at most (5.8x-16.9x) — a systems gap (two-phase sampling,
+  mirror broadcast), not an algorithmic one;
+* dynamic walks (Meta-path, node2vec): the gap explodes on the skewed
+  graphs (Twitter, UK-Union), where the paper extrapolates Gemini at
+  hundreds of hours (1000x-11000x speedups, starred);
+* weighting changes little for node2vec (connectivity-check cost
+  dominates).
+
+Following the paper's methodology, intractable baseline configurations
+run with a sampled walker fraction and are extrapolated linearly
+(marked ``*``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import GeminiWalkEngine
+from repro.bench.reporting import ResultTable, format_seconds, format_speedup
+from repro.bench.workloads import (
+    BENCH_DATASETS,
+    AlgorithmSpec,
+    extrapolate_walkers,
+    paper_algorithms,
+    paper_config,
+    prepare_graph,
+)
+from repro.cluster import DistributedWalkEngine
+
+__all__ = ["run"]
+
+NUM_NODES = 8
+
+# Paper speedups for reference columns (unweighted / weighted).
+PAPER_SPEEDUPS = {
+    (False, "DeepWalk", "livejournal"): "7.93",
+    (False, "DeepWalk", "friendster"): "8.61",
+    (False, "DeepWalk", "twitter"): "7.60",
+    (False, "DeepWalk", "ukunion"): "5.78",
+    (False, "PPR", "livejournal"): "16.94",
+    (False, "PPR", "friendster"): "9.65",
+    (False, "PPR", "twitter"): "9.94",
+    (False, "PPR", "ukunion"): "7.10",
+    (False, "Meta-path", "livejournal"): "23.20",
+    (False, "Meta-path", "friendster"): "21.41",
+    (False, "Meta-path", "twitter"): "1152*",
+    (False, "Meta-path", "ukunion"): "8038*",
+    (False, "node2vec", "livejournal"): "11.93",
+    (False, "node2vec", "friendster"): "21.02",
+    (False, "node2vec", "twitter"): "2206*",
+    (False, "node2vec", "ukunion"): "11139*",
+    (True, "DeepWalk", "livejournal"): "5.65",
+    (True, "DeepWalk", "friendster"): "6.35",
+    (True, "DeepWalk", "twitter"): "5.91",
+    (True, "DeepWalk", "ukunion"): "3.70",
+    (True, "PPR", "livejournal"): "14.92",
+    (True, "PPR", "friendster"): "7.80",
+    (True, "PPR", "twitter"): "8.59",
+    (True, "PPR", "ukunion"): "5.01",
+    (True, "Meta-path", "livejournal"): "20.32",
+    (True, "Meta-path", "friendster"): "16.25",
+    (True, "Meta-path", "twitter"): "1712*",
+    (True, "Meta-path", "ukunion"): "9570*",
+    (True, "node2vec", "livejournal"): "11.11",
+    (True, "node2vec", "friendster"): "18.85",
+    (True, "node2vec", "twitter"): "2049*",
+    (True, "node2vec", "ukunion"): "10126*",
+}
+
+
+def _gemini_fraction(spec: AlgorithmSpec, dataset: str) -> float:
+    """Walker fraction for the Gemini run (1.0 = no extrapolation).
+
+    Dynamic algorithms on the skewed graphs are the paper's starred,
+    extrapolated cases; we subsample them too, both for fidelity to the
+    methodology and to keep bench wall time sane.
+    """
+    if not spec.needs_edge_types and spec.name != "node2vec":
+        return 1.0  # static: run in full
+    if dataset in ("twitter", "ukunion"):
+        return 0.02
+    return 0.1
+
+
+def run(
+    weighted: bool = False,
+    scale: float = 0.4,
+    seed: int = 0,
+) -> ResultTable:
+    """Regenerate Table 3 (unweighted) or Table 4 (weighted)."""
+    number = 4 if weighted else 3
+    kind = "weighted" if weighted else "unweighted"
+    table = ResultTable(
+        title=f"Table {number}: overall performance on {kind} graphs "
+        "(simulated seconds, 8 nodes)",
+        columns=[
+            "algorithm",
+            "graph",
+            "Gemini (s)",
+            "KnightKing (s)",
+            "speedup",
+            "paper speedup",
+        ],
+    )
+    for spec in paper_algorithms(seed=seed):
+        for dataset in BENCH_DATASETS:
+            graph = prepare_graph(dataset, spec, scale, weighted, seed=seed)
+
+            kk_config = paper_config(spec, graph, seed=seed)
+            knightking = DistributedWalkEngine(
+                graph, spec.make_program(graph), kk_config, num_nodes=NUM_NODES
+            ).run()
+            kk_seconds = knightking.cluster.simulated_seconds
+
+            fraction = _gemini_fraction(spec, dataset)
+            gemini_config = paper_config(
+                spec, graph, walker_fraction=fraction, seed=seed
+            )
+            gemini = GeminiWalkEngine(
+                graph,
+                spec.make_program(graph),
+                gemini_config,
+                num_nodes=NUM_NODES,
+            ).run()
+            gemini_seconds = extrapolate_walkers(
+                gemini.cluster.simulated_seconds, fraction
+            )
+            estimated = fraction < 1.0
+
+            table.add_row(
+                spec.name,
+                dataset,
+                format_seconds(gemini_seconds),
+                format_seconds(kk_seconds),
+                format_speedup(gemini_seconds / kk_seconds, estimated),
+                PAPER_SPEEDUPS.get((weighted, spec.name, dataset), "-"),
+            )
+    table.add_note(
+        f"stand-in graphs at scale={scale}; '*' marks extrapolated Gemini "
+        "runs from a sampled walker subset, the paper's own methodology "
+        "for its 6-to-500-hour cases"
+    )
+    return table

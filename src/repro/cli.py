@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+* ``walk``  — run any built-in algorithm on a dataset stand-in or an
+  edge-list file, print statistics, optionally dump the walk corpus;
+* ``bench`` — regenerate one of the paper's tables/figures;
+* ``info``  — print a graph's size and degree profile.
+
+Examples::
+
+    python -m repro.cli walk --algorithm node2vec --dataset twitter \\
+        --scale 0.25 --length 40 --p 2 --q 0.5 --nodes 8
+    python -m repro.cli bench table5b
+    python -m repro.cli info --dataset friendster --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.algorithms import (
+    DeepWalk,
+    MetaPathWalk,
+    Node2Vec,
+    PPR,
+    RandomWalkWithRestart,
+    UniformWalk,
+    random_schemes,
+)
+from repro.cluster import DistributedWalkEngine
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.errors import ReproError
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.hetero import assign_random_edge_types
+from repro.graph.io import load_edge_list
+
+__all__ = ["main", "build_parser"]
+
+ALGORITHMS = ("uniform", "deepwalk", "ppr", "metapath", "node2vec", "rwr")
+EXPERIMENTS = (
+    "table1",
+    "table3",
+    "table4",
+    "table5a",
+    "table5b",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "fig8",
+    "fig9",
+    "memory",
+    "navrate",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KnightKing reproduction: graph random walk engine",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    walk = subparsers.add_parser("walk", help="run a random walk")
+    _add_graph_arguments(walk)
+    walk.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="deepwalk"
+    )
+    walk.add_argument("--walkers", type=int, default=None, help="default |V|")
+    walk.add_argument("--length", type=int, default=80)
+    walk.add_argument(
+        "--termination", type=float, default=0.0,
+        help="per-step stop probability (PPR-style Pe)",
+    )
+    walk.add_argument("--p", type=float, default=2.0, help="node2vec return")
+    walk.add_argument("--q", type=float, default=0.5, help="node2vec in-out")
+    walk.add_argument(
+        "--restart", type=float, default=0.15, help="rwr restart probability"
+    )
+    walk.add_argument(
+        "--nodes", type=int, default=0,
+        help="simulate a cluster of this many nodes (0 = local engine)",
+    )
+    walk.add_argument("--seed", type=int, default=0)
+    walk.add_argument(
+        "--output", type=str, default=None,
+        help="stream the walk corpus to this file (constant memory)",
+    )
+
+    bench = subparsers.add_parser("bench", help="regenerate a paper experiment")
+    bench.add_argument("experiment", choices=EXPERIMENTS)
+
+    info = subparsers.add_parser("info", help="print graph statistics")
+    _add_graph_arguments(info)
+    return parser
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset", choices=sorted(DATASETS), help="synthetic stand-in"
+    )
+    source.add_argument("--edge-list", type=str, help="edge-list file")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--weighted", action="store_true", help="assign U[1,5) weights"
+    )
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(
+            args.dataset, scale=args.scale, weighted=args.weighted
+        )
+    return load_edge_list(args.edge_list)
+
+
+def _build_program(args: argparse.Namespace, graph):
+    if args.algorithm == "uniform":
+        return UniformWalk(), graph
+    if args.algorithm == "deepwalk":
+        return DeepWalk(), graph
+    if args.algorithm == "ppr":
+        return PPR(), graph
+    if args.algorithm == "rwr":
+        return RandomWalkWithRestart(args.restart), graph
+    if args.algorithm == "node2vec":
+        return Node2Vec(p=args.p, q=args.q), graph
+    if args.algorithm == "metapath":
+        if graph.edge_types is None:
+            graph = assign_random_edge_types(graph, 5, seed=args.seed + 91)
+        schemes = random_schemes(10, 5, 5, seed=args.seed)
+        return MetaPathWalk(schemes), graph
+    raise ReproError(f"unknown algorithm {args.algorithm!r}")
+
+
+def _run_walk(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    program, graph = _build_program(args, graph)
+    termination = args.termination
+    if args.algorithm == "ppr" and termination == 0.0:
+        termination = 1.0 / 80.0
+    config = WalkConfig(
+        num_walkers=args.walkers,
+        max_steps=None if termination > 0 and args.algorithm == "ppr" else args.length,
+        termination_probability=termination,
+        seed=args.seed,
+        stream_paths_to=args.output,
+    )
+
+    print(f"graph: {graph}")
+    print(f"algorithm: {program!r}")
+    if args.nodes > 0:
+        engine = DistributedWalkEngine(
+            graph, program, config, num_nodes=args.nodes
+        )
+        result = engine.run()
+        print(f"stats: {result.stats.summary()}")
+        print(
+            f"cluster: {result.cluster.num_supersteps} supersteps, "
+            f"{result.cluster.simulated_seconds:.4f}s simulated, "
+            f"{result.cluster.network.total_messages()} messages"
+        )
+    else:
+        result = WalkEngine(graph, program, config).run()
+        print(f"stats: {result.stats.summary()}")
+    print(f"termination: {result.stats.termination}")
+
+    if args.output is not None:
+        print(f"corpus streamed to {args.output}")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        memory,
+        navrate,
+        table1,
+        table5,
+        tables34,
+    )
+
+    runners = {
+        "table1": table1.run,
+        "table3": lambda: tables34.run(weighted=False),
+        "table4": lambda: tables34.run(weighted=True),
+        "table5a": table5.run_5a,
+        "table5b": table5.run_5b,
+        "fig5": fig5.run,
+        "fig6a": fig6.run_6a,
+        "fig6b": fig6.run_6b,
+        "fig6c": fig6.run_6c,
+        "fig7": fig7.run,
+        "fig8": fig8.run,
+        "fig9": fig9.run,
+        "memory": memory.run,
+        "navrate": navrate.run,
+    }
+    print(runners[args.experiment]().format())
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = graph.degree_stats()
+    degrees = graph.out_degrees()
+    print(f"graph: {graph}")
+    print(f"degrees: {stats}")
+    if degrees.size:
+        percentiles = np.percentile(degrees, [50, 90, 99])
+        print(
+            f"degree percentiles: p50={percentiles[0]:.0f} "
+            f"p90={percentiles[1]:.0f} p99={percentiles[2]:.0f}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "walk":
+            return _run_walk(args)
+        if args.command == "bench":
+            return _run_bench(args)
+        if args.command == "info":
+            return _run_info(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2  # unreachable with required=True subparsers
+
+
+if __name__ == "__main__":
+    sys.exit(main())

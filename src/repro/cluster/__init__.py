@@ -1,0 +1,34 @@
+"""Distributed-execution simulator (paper sections 5.1 and 6).
+
+Models an N-node cluster: 1-D vertex partitioning, per-superstep BSP
+execution, walker-to-vertex query messaging, walker migration, and
+straggler-aware thread scheduling.  Work (trials, Pd evaluations,
+messages) is counted exactly; simulated time comes from a calibrated
+cost model.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.cluster.cost_model import CostModel, NodeWork
+from repro.cluster.engine import (
+    ClusterStats,
+    DistributedWalkEngine,
+    DistributedWalkResult,
+)
+from repro.cluster.network import MessageKind, Network
+from repro.cluster.scheduler import (
+    LIGHT_MODE_THREADS,
+    LIGHT_MODE_THRESHOLD,
+    ThreadPolicy,
+)
+
+__all__ = [
+    "DistributedWalkEngine",
+    "DistributedWalkResult",
+    "ClusterStats",
+    "CostModel",
+    "NodeWork",
+    "Network",
+    "MessageKind",
+    "ThreadPolicy",
+    "LIGHT_MODE_THRESHOLD",
+    "LIGHT_MODE_THREADS",
+]

@@ -1,0 +1,101 @@
+"""Calibrated cost model for the cluster simulator.
+
+The paper's cluster is unavailable, so simulated run times are derived
+from the work the simulator *actually counts*: rejection trials, Pd
+evaluations, and messages, per node per superstep.  The model is
+deliberately simple (DESIGN.md section 6):
+
+``T_node = threads * c_thread + compute_work / compute_threads
+           + message_work / comm_threads``
+
+where ``compute_threads = threads - 2`` (KnightKing dedicates two
+threads to message passing, section 6.2; in light mode one compute
+thread remains) and the superstep time is the slowest node's time —
+the BSP barrier.
+
+The per-thread constant models scheduling/synchronisation overhead of
+keeping a thread pool spinning for one superstep; it is what the
+straggler-aware light mode (Figure 9) trades against parallel speedup.
+Constants are rough C++-scale costs (tens of nanoseconds per
+probability computation, microseconds per small message) — their
+absolute values only set the time unit; every reproduced *shape*
+depends on their ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "NodeWork"]
+
+
+@dataclass(frozen=True)
+class NodeWork:
+    """Work one node performed in one superstep."""
+
+    trials: int = 0
+    pd_evaluations: int = 0
+    messages: int = 0
+    active_walkers: int = 0
+
+    def merged(self, other: "NodeWork") -> "NodeWork":
+        return NodeWork(
+            trials=self.trials + other.trials,
+            pd_evaluations=self.pd_evaluations + other.pd_evaluations,
+            messages=self.messages + other.messages,
+            active_walkers=max(self.active_walkers, other.active_walkers),
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs, in seconds.
+
+    Attributes
+    ----------
+    trial_cost:
+        one rejection-sampling trial (candidate draw + dart).
+    pd_cost:
+        one dynamic-component evaluation (includes the adjacency
+        binary search for node2vec-style checks).
+    message_cost:
+        handling one small message end-to-end (serialise + transfer
+        share + deserialise).
+    thread_overhead:
+        keeping one pool thread for one superstep (wakeup, chunk
+        scheduling at the paper's chunk size 128, barrier).
+    barrier_cost:
+        fixed per-superstep BSP synchronisation cost per node.
+    comm_threads:
+        threads dedicated to message passing (2 in the paper).
+    """
+
+    trial_cost: float = 8e-8
+    pd_cost: float = 1.5e-7
+    message_cost: float = 5e-7
+    thread_overhead: float = 4e-6
+    barrier_cost: float = 2e-6
+    comm_threads: int = 2
+
+    def node_time(self, work: NodeWork, threads: int) -> float:
+        """Simulated time one node spends on one superstep."""
+        compute_threads = max(threads - self.comm_threads, 1)
+        compute = work.trials * self.trial_cost + (
+            work.pd_evaluations * self.pd_cost
+        )
+        communicate = work.messages * self.message_cost
+        return (
+            threads * self.thread_overhead
+            + self.barrier_cost
+            + compute / compute_threads
+            + communicate / max(self.comm_threads, 1)
+        )
+
+    def superstep_time(
+        self, per_node_work: list[NodeWork], per_node_threads: list[int]
+    ) -> float:
+        """BSP: the superstep lasts as long as its slowest node."""
+        return max(
+            self.node_time(work, threads)
+            for work, threads in zip(per_node_work, per_node_threads)
+        )

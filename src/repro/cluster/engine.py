@@ -1,0 +1,408 @@
+"""The distributed walk engine over the cluster simulator.
+
+:class:`DistributedWalkEngine` executes the same walker programs as the
+single-process :class:`~repro.core.engine.WalkEngine`, but over a
+partitioned graph on ``num_nodes`` simulated nodes, implementing the
+five-step iteration of paper section 5.1 with explicit message
+accounting:
+
+1. each node generates candidate edges for its local walkers and
+   pre-screens them (pre-acceptance, locally-resolvable Pd cases,
+   outlier appendices — node2vec's return edge is always local);
+2. walkers post walker-to-vertex state queries for the remaining
+   candidates, batched by the owning node of the queried vertex;
+3. owning nodes execute the queries and send responses;
+4. walkers retrieve results and finish their Pd evaluations;
+5. walkers accept/reject; accepted walkers move, migrating to the new
+   vertex's owner when it lives on another node.
+
+The simulator is *work-exact*: trials, Pd evaluations, and messages are
+counted precisely per node and per superstep; simulated run time comes
+from the calibrated :class:`~repro.cluster.cost_model.CostModel`
+(slowest node per superstep, BSP).  The walk itself is executed for
+real — results are bit-identical in distribution to the local engine's.
+
+Straggler-aware scheduling (section 6.2) is modelled through
+:class:`~repro.cluster.scheduler.ThreadPolicy`: a node whose active
+walker count falls under the threshold drops to three threads,
+shrinking its per-superstep thread overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cost_model import CostModel, NodeWork
+from repro.cluster.network import MessageKind, Network
+from repro.cluster.scheduler import ThreadPolicy
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine, WalkResult
+from repro.core.program import WalkerProgram
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import ContiguousPartition, partition_graph
+
+__all__ = ["DistributedWalkEngine", "ClusterStats", "DistributedWalkResult"]
+
+
+@dataclass
+class ClusterStats:
+    """System-level statistics of one distributed execution."""
+
+    num_nodes: int
+    simulated_seconds: float = 0.0
+    superstep_times: list[float] = field(default_factory=list)
+    light_mode_node_supersteps: int = 0
+    network: Network | None = None
+    # Per-node lifetime load (paper section 6.1: the 1-D partition
+    # balances memory, not necessarily walk processing).
+    trials_per_node: np.ndarray | None = None
+    pd_evaluations_per_node: np.ndarray | None = None
+    walker_supersteps_per_node: np.ndarray | None = None
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.superstep_times)
+
+    def compute_balance(self) -> float:
+        """max/mean of per-node processing load (trials + Pd
+        evaluations); 1.0 is perfectly balanced."""
+        if self.trials_per_node is None or self.pd_evaluations_per_node is None:
+            return 1.0
+        loads = (
+            self.trials_per_node + self.pd_evaluations_per_node
+        ).astype(np.float64)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+
+@dataclass
+class DistributedWalkResult(WalkResult):
+    """Walk result plus cluster-simulation statistics."""
+
+    cluster: ClusterStats = None  # type: ignore[assignment]
+
+
+class DistributedWalkEngine(WalkEngine):
+    """KnightKing's distributed execution on the cluster simulator.
+
+    Parameters
+    ----------
+    num_nodes:
+        simulated cluster size (the paper uses 8).
+    thread_policy:
+        per-node thread scheduling, including the light-mode straggler
+        optimization.  Default: 16 compute + 2 message threads, light
+        mode on (the paper's configuration).
+    cost_model:
+        converts counted work into simulated seconds.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        program: WalkerProgram,
+        config: WalkConfig | None = None,
+        num_nodes: int = 8,
+        thread_policy: ThreadPolicy | None = None,
+        cost_model: CostModel | None = None,
+        use_lower_bound: bool = True,
+        validate_bounds: bool = False,
+    ) -> None:
+        super().__init__(
+            graph,
+            program,
+            config,
+            use_lower_bound=use_lower_bound,
+            validate_bounds=validate_bounds,
+        )
+        self.partition: ContiguousPartition = partition_graph(graph, num_nodes)
+        self.num_nodes = num_nodes
+        self.thread_policy = (
+            thread_policy if thread_policy is not None else ThreadPolicy()
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.network = Network(num_nodes)
+        self.cluster = ClusterStats(
+            num_nodes=num_nodes,
+            network=self.network,
+            trials_per_node=np.zeros(num_nodes, dtype=np.int64),
+            pd_evaluations_per_node=np.zeros(num_nodes, dtype=np.int64),
+            walker_supersteps_per_node=np.zeros(num_nodes, dtype=np.int64),
+        )
+        # Per-superstep, per-node work accumulators.
+        self._node_trials = np.zeros(num_nodes, dtype=np.int64)
+        self._node_pd = np.zeros(num_nodes, dtype=np.int64)
+        self._node_msgs = np.zeros(num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: int | None = None) -> DistributedWalkResult:
+        loop_start = time.perf_counter()
+        executed = 0
+        while self.walkers.num_active and (
+            max_iterations is None or executed < max_iterations
+        ):
+            self._superstep()
+            executed += 1
+        self.stats.wall_time_seconds += time.perf_counter() - loop_start
+        self.cluster.simulated_seconds = float(
+            np.sum(self.cluster.superstep_times)
+        )
+        paths = None
+        if self._recorder is not None:
+            if self._streaming:
+                if not self.walkers.num_active:
+                    self._recorder.close()
+            else:
+                paths = self._recorder.paths()
+        return DistributedWalkResult(
+            stats=self.stats,
+            walkers=self.walkers,
+            paths=paths,
+            cluster=self.cluster,
+        )
+
+    # ------------------------------------------------------------------
+    def _superstep(self) -> None:
+        active = self.walkers.active_ids()
+        self.stats.active_per_iteration.append(active.size)
+        self.stats.iterations += 1
+        self._node_trials[:] = 0
+        self._node_pd[:] = 0
+        self._node_msgs[:] = 0
+        active_per_node = np.bincount(
+            self.partition.owners(self.walkers.current[active]),
+            minlength=self.num_nodes,
+        )
+
+        survivors = self._apply_extension_component(active)
+        if survivors.size:
+            survivors = self._apply_teleports(survivors)
+        if survivors.size:
+            if self.sync_mode == "trial":
+                self._distributed_round(survivors)
+            else:
+                pending = survivors
+                while pending.size:
+                    moved = self._distributed_round(pending)
+                    pending = pending[~moved]
+
+        self._flush_streaming(active)
+        self._close_superstep(active_per_node)
+
+    def _record_teleports(
+        self, walker_ids: np.ndarray, targets: np.ndarray
+    ) -> None:
+        """Teleports migrate walkers like ordinary moves do."""
+        old_owners = self.partition.owners(self.walkers.current[walker_ids])
+        new_owners = self.partition.owners(targets)
+        migrated = self.network.record_batch(
+            MessageKind.WALKER_MIGRATE, old_owners, new_owners
+        )
+        np.add.at(self._node_msgs, old_owners, 1)
+        np.add.at(self._node_msgs, new_owners, 1)
+        self.stats.messages_sent += migrated
+        super()._record_teleports(walker_ids, targets)
+
+    def _close_superstep(self, active_per_node: np.ndarray) -> None:
+        """Charge the superstep to the cost model."""
+        self.cluster.trials_per_node += self._node_trials
+        self.cluster.pd_evaluations_per_node += self._node_pd
+        self.cluster.walker_supersteps_per_node += active_per_node
+        works = []
+        threads = []
+        for node in range(self.num_nodes):
+            works.append(
+                NodeWork(
+                    trials=int(self._node_trials[node]),
+                    pd_evaluations=int(self._node_pd[node]),
+                    messages=int(self._node_msgs[node]),
+                    active_walkers=int(active_per_node[node]),
+                )
+            )
+            node_threads = self.thread_policy.threads_for(
+                int(active_per_node[node])
+            )
+            threads.append(node_threads)
+            if node_threads < self.thread_policy.full_threads:
+                self.cluster.light_mode_node_supersteps += 1
+        self.cluster.superstep_times.append(
+            self.cost_model.superstep_time(works, threads)
+        )
+
+    # ------------------------------------------------------------------
+    def _distributed_round(self, walker_ids: np.ndarray) -> np.ndarray:
+        """One trial per walker with explicit query-phase messaging.
+
+        Returns the moved mask aligned with ``walker_ids``.
+        """
+        graph, program, walkers = self.graph, self.program, self.walkers
+        counters = self.stats.counters
+        count = walker_ids.size
+        vertices = walkers.current[walker_ids]
+        walker_nodes = self.partition.owners(vertices)
+        upper = self.upper[vertices]
+        lower = self.lower[vertices]
+        main_area = self.tables.totals[vertices] * upper
+
+        # --- Step 1: candidates and preliminary screening -------------
+        counters.trials += count
+        np.add.at(self._node_trials, walker_nodes, 1)
+
+        appendix_area = None
+        outlier_edges = outlier_masses = None
+        declared = program.batch_outliers(graph, walkers, walker_ids)
+        if declared is not None:
+            outlier_edges, outlier_bounds, outlier_widths, outlier_masses = declared
+            appendix_area = np.where(
+                outlier_edges >= 0,
+                outlier_widths * np.maximum(outlier_bounds - upper, 0.0),
+                0.0,
+            )
+
+        accepted = np.zeros(count, dtype=bool)
+        edges = np.full(count, -1, dtype=np.int64)
+
+        if appendix_area is None:
+            main_lanes = np.arange(count)
+            appendix_lanes = np.zeros(0, dtype=np.int64)
+        else:
+            region = self._rng.random(count) * (main_area + appendix_area)
+            in_main = region < main_area
+            main_lanes = np.flatnonzero(in_main)
+            appendix_lanes = np.flatnonzero(~in_main)
+
+        # Appendix darts: the outlier (return) edge is stored with the
+        # walker's current vertex, so its Pd is resolved locally.
+        if appendix_lanes.size:
+            counters.appendix_trials += appendix_lanes.size
+            target_edges = outlier_edges[appendix_lanes]
+            dynamic = program.batch_dynamic_comp(
+                graph, walkers, walker_ids[appendix_lanes], target_edges
+            )
+            counters.pd_evaluations += appendix_lanes.size
+            np.add.at(self._node_pd, walker_nodes[appendix_lanes], 1)
+            chopped = outlier_masses[appendix_lanes] * np.maximum(
+                dynamic - upper[appendix_lanes], 0.0
+            )
+            passed = (
+                self._rng.random(appendix_lanes.size)
+                * appendix_area[appendix_lanes]
+                < chopped
+            )
+            accepted[appendix_lanes[passed]] = True
+            edges[appendix_lanes[passed]] = target_edges[passed]
+
+        # Main darts: candidate + pre-acceptance screening.
+        pd_lanes = np.zeros(0, dtype=np.int64)
+        if main_lanes.size:
+            candidates = self.tables.sample_batch(vertices[main_lanes], self._rng)
+            darts = self._rng.random(main_lanes.size) * upper[main_lanes]
+            pre = darts <= lower[main_lanes]
+            counters.pre_accepts += int(pre.sum())
+            accepted[main_lanes[pre]] = True
+            edges[main_lanes[pre]] = candidates[pre]
+            need = np.flatnonzero(~pre)
+            pd_lanes = main_lanes[need]
+            pd_candidates = candidates[need]
+            pd_darts = darts[need]
+
+        if pd_lanes.size:
+            # --- Steps 2-4: the two-round state query exchange --------
+            answers = np.zeros(pd_lanes.size, dtype=np.float64)
+            answered = np.zeros(pd_lanes.size, dtype=bool)
+            if program.order == 2:
+                targets, payloads = program.batch_state_queries(
+                    graph, walkers, walker_ids[pd_lanes], pd_candidates
+                )
+                query_lanes = np.flatnonzero(targets >= 0)
+                if query_lanes.size:
+                    owners = self.partition.owners(targets[query_lanes])
+                    senders = walker_nodes[pd_lanes[query_lanes]]
+                    self.network.record_batch(
+                        MessageKind.STATE_QUERY, senders, owners
+                    )
+                    self.network.record_batch(
+                        MessageKind.QUERY_RESPONSE, owners, senders
+                    )
+                    # Each query costs its sender and its answerer one
+                    # message each way; intra-node deliveries pass
+                    # through the same queues (the engines use one
+                    # messaging stack), so they are charged equally —
+                    # which also keeps single-node runs comparable for
+                    # the Figure 7 normalization.
+                    np.add.at(self._node_msgs, senders, 2)
+                    np.add.at(self._node_msgs, owners, 2)
+                    self.stats.messages_sent += 2 * int((senders != owners).sum())
+                    answers[query_lanes] = program.batch_answer_queries(
+                        graph, targets[query_lanes], payloads[query_lanes]
+                    )
+                    answered[query_lanes] = True
+
+            # --- Step 5: decide sampling outcome -----------------------
+            dynamic = program.batch_dynamic_with_answers(
+                graph,
+                walkers,
+                walker_ids[pd_lanes],
+                pd_candidates,
+                answers,
+                answered,
+            )
+            counters.pd_evaluations += pd_lanes.size
+            if self.validate_bounds:
+                from repro.core.kernels import _validate_envelope
+
+                _validate_envelope(
+                    graph,
+                    dynamic,
+                    upper[pd_lanes],
+                    pd_candidates,
+                    outlier_edges[pd_lanes] if outlier_edges is not None else None,
+                )
+            np.add.at(self._node_pd, walker_nodes[pd_lanes], 1)
+            passed = pd_darts <= dynamic
+            accepted[pd_lanes[passed]] = True
+            edges[pd_lanes[passed]] = pd_candidates[passed]
+
+        counters.accepts += int(accepted.sum())
+        moved = accepted.copy()
+
+        # Moves and walker migration.
+        if accepted.any():
+            movers = walker_ids[accepted]
+            new_vertices = graph.targets[edges[accepted]]
+            new_owners = self.partition.owners(new_vertices)
+            old_owners = walker_nodes[accepted]
+            migrated = self.network.record_batch(
+                MessageKind.WALKER_MIGRATE, old_owners, new_owners
+            )
+            np.add.at(self._node_msgs, old_owners, 1)
+            np.add.at(self._node_msgs, new_owners, 1)
+            self.stats.messages_sent += migrated
+            self.walkers.move(movers, new_vertices)
+            self._rejection_streak[movers] = 0
+            self.stats.total_steps += movers.size
+            if self._recorder is not None:
+                self._recorder.record_moves(movers, new_vertices)
+
+        stuck = walker_ids[~accepted]
+        if stuck.size:
+            self._rejection_streak[stuck] += 1
+            from repro.core.engine import ZERO_MASS_GUARD_TRIALS
+
+            guarded = stuck[
+                self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
+            ]
+            for walker_id in guarded:
+                node = self.partition.owner_of(
+                    int(self.walkers.current[walker_id])
+                )
+                before = self.stats.full_scan_evaluations
+                if self._guard_walker(int(walker_id)):
+                    moved[np.searchsorted(walker_ids, walker_id)] = True
+                self._node_pd[node] += (
+                    self.stats.full_scan_evaluations - before
+                )
+        return moved

@@ -1,0 +1,127 @@
+"""Simulated interconnect: message and byte accounting.
+
+The simulator does not move real bytes; it counts, per (source node,
+destination node) pair and per message kind, exactly the messages the
+distributed protocol would send.  These counts feed the cost model
+(time) and the benchmarks (communication-volume comparisons against
+the Gemini baseline's mirror broadcasts).
+
+Intra-node "messages" (source == destination) are counted separately
+and cost nothing: co-located walkers read vertex state directly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ClusterError
+
+__all__ = ["MessageKind", "Network"]
+
+
+class MessageKind(Enum):
+    """Protocol message types with their simulated payload sizes."""
+
+    # walker id + candidate edge + query target + payload vertex
+    STATE_QUERY = 28
+    # walker id + boolean/float answer
+    QUERY_RESPONSE = 12
+    # walker id + current + previous + step counter (+ custom state)
+    WALKER_MIGRATE = 32
+
+    @property
+    def bytes_per_message(self) -> int:
+        return self.value
+
+
+class Network:
+    """Per-node-pair message counters for one simulated cluster."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ClusterError("a cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self._messages = {
+            kind: np.zeros((num_nodes, num_nodes), dtype=np.int64)
+            for kind in MessageKind
+        }
+        self._local = {kind: 0 for kind in MessageKind}
+        self._scattered = {
+            kind: np.zeros(num_nodes, dtype=np.int64) for kind in MessageKind
+        }
+
+    def record_batch(
+        self, kind: MessageKind, sources: np.ndarray, destinations: np.ndarray
+    ) -> int:
+        """Record messages for aligned source/destination node arrays;
+        returns how many actually crossed the network."""
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if sources.shape != destinations.shape:
+            raise ClusterError("sources and destinations must align")
+        remote = sources != destinations
+        self._local[kind] += int(np.count_nonzero(~remote))
+        if remote.any():
+            flat = sources[remote] * self.num_nodes + destinations[remote]
+            counts = np.bincount(flat, minlength=self.num_nodes * self.num_nodes)
+            self._messages[kind] += counts.reshape(
+                self.num_nodes, self.num_nodes
+            )
+        return int(np.count_nonzero(remote))
+
+    def record_scatter(
+        self, kind: MessageKind, sources: np.ndarray, counts: np.ndarray
+    ) -> int:
+        """Record ``counts[i]`` broadcast/scatter messages sent by node
+        ``sources[i]`` to unspecified peers (e.g. Gemini's mirror
+        broadcasts).  Tracked per sender only — :meth:`matrix` excludes
+        them, but totals and :meth:`sent_by_node` include them."""
+        sources = np.asarray(sources, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ClusterError("scatter counts must be non-negative")
+        np.add.at(self._scattered[kind], sources, counts)
+        return int(counts.sum())
+
+    def matrix(self, kind: MessageKind | None = None) -> np.ndarray:
+        """(num_nodes x num_nodes) remote-message counts."""
+        if kind is not None:
+            return self._messages[kind].copy()
+        total = np.zeros((self.num_nodes, self.num_nodes), dtype=np.int64)
+        for counts in self._messages.values():
+            total += counts
+        return total
+
+    def total_messages(self, kind: MessageKind | None = None) -> int:
+        scattered = (
+            int(self._scattered[kind].sum())
+            if kind is not None
+            else sum(int(array.sum()) for array in self._scattered.values())
+        )
+        return int(self.matrix(kind).sum()) + scattered
+
+    def local_deliveries(self, kind: MessageKind | None = None) -> int:
+        """Same-node deliveries (free in the cost model)."""
+        if kind is not None:
+            return self._local[kind]
+        return sum(self._local.values())
+
+    def total_bytes(self) -> int:
+        return sum(
+            (int(counts.sum()) + int(self._scattered[kind].sum()))
+            * kind.bytes_per_message
+            for kind, counts in self._messages.items()
+        )
+
+    def sent_by_node(self) -> np.ndarray:
+        """Remote messages sent per node (row sums + scatters)."""
+        total = self.matrix().sum(axis=1)
+        for array in self._scattered.values():
+            total = total + array
+        return total
+
+    def received_by_node(self) -> np.ndarray:
+        """Remote messages received per node (column sums)."""
+        return self.matrix().sum(axis=0)

@@ -1,0 +1,59 @@
+"""Per-node thread scheduling policy, including straggler light mode.
+
+Paper section 6.2: each node runs as many computation threads as cores
+(16 in the evaluation) plus two message-passing threads.  During the
+long tail of a walk — very few active walkers, caused by PPR's
+geometric termination or by second-order rejection stragglers — the
+overhead of maintaining the full pool outweighs parallelism, so a node
+switches to *light mode*: three threads total (one compute, two
+communication) whenever its active walker count drops below 4000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+__all__ = ["ThreadPolicy", "LIGHT_MODE_THRESHOLD", "LIGHT_MODE_THREADS"]
+
+# "a KnightKing node switches to its light mode by retaining only three
+# threads ... when its number of active walkers fall below a threshold,
+# set at 4000 in our experiments" — paper section 6.2.
+LIGHT_MODE_THRESHOLD = 4000
+LIGHT_MODE_THREADS = 3
+
+
+@dataclass(frozen=True)
+class ThreadPolicy:
+    """Chooses a node's thread count from its active walker count.
+
+    Parameters
+    ----------
+    full_threads:
+        pool size in normal operation: compute threads (cores) plus the
+        two message threads — 18 for the paper's 16-core nodes.
+    light_mode:
+        whether the straggler optimization is enabled (the Figure 9
+        ablation turns it off).
+    threshold:
+        active-walker count below which light mode engages.
+    """
+
+    full_threads: int = 18
+    light_mode: bool = True
+    threshold: int = LIGHT_MODE_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.full_threads < LIGHT_MODE_THREADS:
+            raise ClusterError(
+                f"full_threads must be >= {LIGHT_MODE_THREADS}"
+            )
+        if self.threshold < 0:
+            raise ClusterError("threshold must be non-negative")
+
+    def threads_for(self, active_walkers: int) -> int:
+        """Thread count a node uses this superstep."""
+        if self.light_mode and active_walkers < self.threshold:
+            return LIGHT_MODE_THREADS
+        return self.full_threads

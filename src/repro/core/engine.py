@@ -1,0 +1,414 @@
+"""The single-process walker-centric walk engine.
+
+:class:`WalkEngine` executes any :class:`~repro.core.program.WalkerProgram`
+over a CSR graph following the iteration structure of paper section 5.1,
+without the message-passing layer (the distributed variant lives in
+:mod:`repro.cluster.engine` and shares this module's kernels):
+
+1. check the extension component Pe — dead ends, the configured step
+   limit, the per-step termination coin, and any program-specific
+   continuation test;
+2. run rejection-sampling trials over the static tables: candidates
+   from alias/ITS, lower-bound pre-acceptance, on-demand Pd evaluation,
+   outlier appendices;
+3. move walkers along accepted edges.
+
+Pacing follows the paper: static and first-order programs move in
+*lockstep* — within one iteration every walker retries until it moves
+("step" mode) — while second-order programs spend one trial per
+iteration, because each trial costs a two-round query exchange in the
+distributed setting; rejected walkers stay put and retry next iteration
+("trial" mode).
+
+Static programs (Pd = 1) set envelope == lower bound == 1 so every
+trial pre-accepts on the first dart: rejection sampling degenerates to
+plain alias/ITS sampling exactly as the paper promises ("morphing into
+the alias solution automatically in static walks").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import WalkConfig
+from repro.core.kernels import batch_trial_round, full_scan_distribution
+from repro.core.program import WalkerProgram
+from repro.core.stats import WalkStats
+from repro.core.trace import PathRecorder, StreamingPathRecorder
+from repro.core.walker import WalkerSet
+from repro.errors import ProgramError
+from repro.graph.csr import CSRGraph
+from repro.sampling.alias import VertexAliasTables
+from repro.sampling.its import VertexITSTables
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.rng import derive_rng
+
+__all__ = ["WalkEngine", "WalkResult"]
+
+# After this many consecutive rejections a walker's vertex is fully
+# scanned once to distinguish "unlucky" from "zero eligible mass".
+ZERO_MASS_GUARD_TRIALS = 64
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one walk execution."""
+
+    stats: WalkStats
+    walkers: WalkerSet
+    paths: list[np.ndarray] | None
+
+    @property
+    def walk_lengths(self) -> np.ndarray:
+        """Steps taken per walker."""
+        return self.walkers.steps
+
+    def corpus(self) -> list[list[int]]:
+        """Recorded walk sequences as lists (requires record_paths)."""
+        if self.paths is None:
+            raise ProgramError("paths were not recorded; set record_paths=True")
+        return [path.tolist() for path in self.paths]
+
+
+class WalkEngine:
+    """Single-process KnightKing engine.
+
+    Parameters
+    ----------
+    graph, program, config:
+        what to walk, how to sample, and how many walkers/steps.
+    use_lower_bound:
+        toggle for the pre-acceptance optimization of paper section
+        4.2, exposed so the Table 5 ablations can disable it (a zero
+        lower bound is always sound).  Outlier folding is toggled on
+        the *program* (e.g. ``Node2Vec(fold_outlier=...)``) because the
+        envelope must be widened consistently when folding is off.
+    force_scalar:
+        run the per-walker reference path even if the program provides
+        batch hooks (used by tests to check the two paths agree).
+    validate_bounds:
+        debug mode: assert every evaluated Pd respects the declared
+        envelope, raising :class:`~repro.errors.ProgramError` on the
+        first violation (which would otherwise silently skew the
+        sampled law).  Off by default for speed.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        program: WalkerProgram,
+        config: WalkConfig | None = None,
+        use_lower_bound: bool = True,
+        force_scalar: bool = False,
+        validate_bounds: bool = False,
+    ) -> None:
+        config = config if config is not None else WalkConfig()
+        program.validate()
+        self.graph = graph
+        self.program = program
+        self.config = config
+        self.use_lower_bound = use_lower_bound
+        self.validate_bounds = validate_bounds
+        self._batch = program.supports_batch and not force_scalar
+
+        init_start = time.perf_counter()
+        static = program.edge_static_comp(graph)
+        if config.static_sampler == "alias":
+            self.tables = VertexAliasTables(graph, static)
+        else:
+            self.tables = VertexITSTables(graph, static)
+        self._scalar_sampler = RejectionSampler(self.tables)
+
+        if program.dynamic:
+            self.upper = np.asarray(
+                program.upper_bound_array(graph), dtype=np.float64
+            )
+            if use_lower_bound:
+                self.lower = np.asarray(
+                    program.lower_bound_array(graph), dtype=np.float64
+                )
+            else:
+                self.lower = np.zeros(graph.num_vertices, dtype=np.float64)
+        else:
+            # Static walk: Pd is identically 1, so the tight envelope
+            # and lower bound coincide and every dart pre-accepts.
+            self.upper = np.ones(graph.num_vertices, dtype=np.float64)
+            self.lower = np.ones(graph.num_vertices, dtype=np.float64)
+        if np.any(self.lower > self.upper):
+            raise ProgramError("lower bound exceeds upper bound somewhere")
+        if np.any(self.upper <= 0):
+            raise ProgramError("upper bounds must be positive")
+
+        starts = config.resolve_starts(graph)
+        self.walkers = WalkerSet(starts, history_depth=program.history_depth)
+        self._rng = derive_rng(config.seed, 0xE17)
+        program.setup_walkers(graph, self.walkers, derive_rng(config.seed, 0x5E7))
+        if config.stream_paths_to is not None:
+            self._recorder = StreamingPathRecorder(config.stream_paths_to, starts)
+        elif config.record_paths:
+            self._recorder = PathRecorder(starts)
+        else:
+            self._recorder = None
+        self._streaming = isinstance(self._recorder, StreamingPathRecorder)
+        self._rejection_streak = np.zeros(self.walkers.num_walkers, dtype=np.int64)
+        self.stats = WalkStats()
+        self.stats.init_time_seconds = time.perf_counter() - init_start
+        # "trial" pacing for second-order programs, "step" otherwise.
+        self.sync_mode = "trial" if program.order == 2 else "step"
+        self._has_custom_continue = (
+            type(program).should_continue is not WalkerProgram.should_continue
+        )
+        self._has_teleports = (
+            type(program).teleport_targets is not WalkerProgram.teleport_targets
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: int | None = None) -> WalkResult:
+        """Execute the walk and return the result.
+
+        ``max_iterations`` stops the engine early (walkers stay alive
+        in the returned result) — the hook used for monitoring and for
+        checkpoint/resume (:mod:`repro.core.snapshot`).
+        """
+        loop_start = time.perf_counter()
+        executed = 0
+        while self.walkers.num_active and (
+            max_iterations is None or executed < max_iterations
+        ):
+            self._iteration()
+            executed += 1
+        self.stats.wall_time_seconds += time.perf_counter() - loop_start
+        paths = None
+        if self._recorder is not None:
+            if self._streaming:
+                if not self.walkers.num_active:
+                    self._recorder.close()
+            else:
+                paths = self._recorder.paths()
+        return WalkResult(stats=self.stats, walkers=self.walkers, paths=paths)
+
+    # ------------------------------------------------------------------
+    def _iteration(self) -> None:
+        active = self.walkers.active_ids()
+        self.stats.active_per_iteration.append(active.size)
+        self.stats.iterations += 1
+
+        survivors = self._apply_extension_component(active)
+        if survivors.size == 0:
+            return
+        survivors = self._apply_teleports(survivors)
+        if survivors.size == 0:
+            return
+
+        if self.sync_mode == "trial":
+            self._attempt_once(survivors)
+        else:
+            # Lockstep: every surviving walker moves (or is terminated
+            # by the zero-mass guard) within this iteration.
+            pending = survivors
+            while pending.size:
+                moved = self._attempt_once(pending)
+                pending = pending[~moved]
+        self._flush_streaming(active)
+
+    def _flush_streaming(self, active: np.ndarray) -> None:
+        """Spill the sequences of walkers that died this iteration."""
+        if self._streaming and active.size:
+            finished = active[~self.walkers.alive[active]]
+            if finished.size:
+                self._recorder.flush_finished(finished)
+
+    def _apply_teleports(self, active: np.ndarray) -> np.ndarray:
+        """Move teleporting walkers directly; return the remainder."""
+        if not self._has_teleports or active.size == 0:
+            return active
+        jump = self.program.teleport_targets(
+            self.graph, self.walkers, active, self._rng
+        )
+        if jump is None:
+            return active
+        jumper_ids, targets = jump
+        if jumper_ids.size == 0:
+            return active
+        self._record_teleports(jumper_ids, np.asarray(targets, dtype=np.int64))
+        return np.setdiff1d(active, jumper_ids, assume_unique=True)
+
+    def _record_teleports(
+        self, walker_ids: np.ndarray, targets: np.ndarray
+    ) -> None:
+        """Book-keeping for direct jumps (shared with the distributed
+        engine, which additionally counts migration messages)."""
+        self.walkers.move(walker_ids, targets)
+        self._rejection_streak[walker_ids] = 0
+        self.stats.total_steps += walker_ids.size
+        self.stats.teleports += walker_ids.size
+        if self._recorder is not None:
+            self._recorder.record_moves(walker_ids, targets)
+
+    def _apply_extension_component(self, active: np.ndarray) -> np.ndarray:
+        """Pe: kill walkers whose walk ends here; return survivors."""
+        config = self.config
+        walkers = self.walkers
+
+        # No out-edges with positive static mass: nothing to sample.
+        dead = self.tables.totals[walkers.current[active]] <= 0.0
+        if dead.any():
+            doomed = active[dead]
+            walkers.kill(doomed)
+            self.stats.termination.by_dead_end += doomed.size
+            active = active[~dead]
+
+        if config.max_steps is not None and active.size:
+            done = walkers.steps[active] >= config.max_steps
+            if done.any():
+                finished = active[done]
+                walkers.kill(finished)
+                self.stats.termination.by_step_limit += finished.size
+                active = active[~done]
+
+        if config.termination_probability > 0.0 and active.size:
+            coins = self._rng.random(active.size)
+            stop = coins < config.termination_probability
+            if stop.any():
+                stopped = active[stop]
+                walkers.kill(stopped)
+                self.stats.termination.by_probability += stopped.size
+                active = active[~stop]
+
+        if self._has_custom_continue and active.size:
+            keep = np.asarray(
+                [
+                    self.program.should_continue(
+                        self.graph, self.walkers.view(int(walker_id))
+                    )
+                    for walker_id in active
+                ],
+                dtype=bool,
+            )
+            if not keep.all():
+                halted = active[~keep]
+                walkers.kill(halted)
+                self.stats.termination.by_step_limit += halted.size
+                active = active[keep]
+        return active
+
+    # ------------------------------------------------------------------
+    def _attempt_once(self, walker_ids: np.ndarray) -> np.ndarray:
+        """One trial per walker; moves the accepted ones.
+
+        Returns the per-walker moved mask (aligned with walker_ids).
+        """
+        if self._batch:
+            outcome = batch_trial_round(
+                self.graph,
+                self.tables,
+                self.program,
+                self.walkers,
+                walker_ids,
+                self.upper,
+                self.lower,
+                self._rng,
+                self.stats.counters,
+                validate_bounds=self.validate_bounds,
+            )
+            accepted, edges = outcome.accepted, outcome.edges
+        else:
+            accepted, edges = self._scalar_round(walker_ids)
+
+        moved = accepted.copy()
+        if accepted.any():
+            movers = walker_ids[accepted]
+            targets = self.graph.targets[edges[accepted]]
+            self.walkers.move(movers, targets)
+            self._rejection_streak[movers] = 0
+            self.stats.total_steps += movers.size
+            if self._recorder is not None:
+                self._recorder.record_moves(movers, targets)
+
+        stuck = walker_ids[~accepted]
+        if stuck.size:
+            self._rejection_streak[stuck] += 1
+            guarded = stuck[
+                self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
+            ]
+            for walker_id in guarded:
+                if self._guard_walker(int(walker_id)):
+                    moved[np.searchsorted(walker_ids, walker_id)] = True
+        return moved
+
+    def _scalar_round(
+        self, walker_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Reference per-walker trial round (no batch hooks needed)."""
+        accepted = np.zeros(walker_ids.size, dtype=bool)
+        edges = np.full(walker_ids.size, -1, dtype=np.int64)
+        for lane, walker_id in enumerate(walker_ids):
+            view = self.walkers.view(int(walker_id))
+            vertex = view.current
+            outliers = (
+                self.program.outlier_specs(self.graph, view)
+                if self.program.dynamic
+                else ()
+            )
+            edge = self._scalar_sampler.try_once(
+                vertex,
+                self._rng,
+                self._scalar_pd(view),
+                float(self.upper[vertex]),
+                float(self.lower[vertex]),
+                outliers,
+                self.stats.counters,
+            )
+            if edge is not None:
+                accepted[lane] = True
+                edges[lane] = edge
+        return accepted, edges
+
+    def _scalar_pd(self, view):
+        """Pd closure that resolves state queries synchronously."""
+        program, graph = self.program, self.graph
+
+        def pd_of(edge_index: int) -> float:
+            query = program.state_query(graph, view, edge_index)
+            result = (
+                program.answer_state_query(graph, query)
+                if query is not None
+                else None
+            )
+            return program.edge_dynamic_comp(graph, view, edge_index, result)
+
+        return pd_of
+
+    def _guard_walker(self, walker_id: int) -> bool:
+        """Zero-mass guard for a persistently rejected walker.
+
+        Scans the walker's vertex once.  Zero eligible mass terminates
+        the walk (no out-edge has positive transition probability);
+        otherwise the walker moves by an exact draw from the scanned
+        distribution.  Returns True if the walker moved or terminated.
+        """
+        mass, evaluations = full_scan_distribution(
+            self.graph, self.tables, self.program, self.walkers, walker_id
+        )
+        self.stats.full_scan_evaluations += evaluations
+        total = float(mass.sum())
+        if total <= 0.0:
+            self.walkers.kill(np.asarray([walker_id]))
+            self.stats.termination.by_dead_end += 1
+            self._rejection_streak[walker_id] = 0
+            return True
+        cdf = np.cumsum(mass)
+        draw = self._rng.random() * total
+        local = int(np.searchsorted(cdf, draw, side="right"))
+        start, _ = self.graph.edge_range(int(self.walkers.current[walker_id]))
+        target = self.graph.targets[start + local]
+        ids = np.asarray([walker_id])
+        self.walkers.move(ids, np.asarray([target]))
+        self._rejection_streak[walker_id] = 0
+        self.stats.total_steps += 1
+        if self._recorder is not None:
+            self._recorder.record_moves(ids, np.asarray([target]))
+        return True

@@ -1,0 +1,276 @@
+"""Vectorised rejection-sampling kernels.
+
+The scalar :class:`~repro.sampling.rejection.RejectionSampler` defines
+the semantics; these kernels execute the identical math over whole
+batches of walkers with a handful of numpy operations per trial round.
+Both the single-process :class:`~repro.core.engine.WalkEngine` and the
+per-node compute of the cluster simulator call into them.
+
+A *trial round* processes one rejection-sampling trial for each walker
+in the batch:
+
+1. choose a region per walker — the main dartboard or one folded
+   outlier appendix — proportionally to area;
+2. main region: draw a candidate edge from the static tables, throw
+   the ``y`` dart, pre-accept at or below the lower bound, otherwise
+   evaluate Pd for the candidate only;
+3. appendix region: evaluate Pd for the declared outlier edge and
+   accept with (true chopped area) / (estimated appendix area).
+
+Walkers whose trial is rejected simply appear in the next round's
+batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.program import WalkerProgram
+from repro.core.walker import WalkerSet
+from repro.sampling.alias import VertexAliasTables
+from repro.sampling.its import VertexITSTables
+from repro.sampling.rejection import SamplingCounters
+
+__all__ = [
+    "TrialOutcome",
+    "batch_trial_round",
+    "full_scan_distribution",
+    "full_scan_mass",
+]
+
+StaticTables = VertexAliasTables | VertexITSTables
+
+
+@dataclass
+class TrialOutcome:
+    """Result of one batch trial round.
+
+    ``accepted`` and ``edges`` align with the input ``walker_ids``:
+    where ``accepted[i]`` is True, ``edges[i]`` holds the flat index of
+    the sampled edge; elsewhere ``edges[i]`` is -1.
+    """
+
+    accepted: np.ndarray
+    edges: np.ndarray
+
+
+def batch_trial_round(
+    graph,
+    tables: StaticTables,
+    program: WalkerProgram,
+    walkers: WalkerSet,
+    walker_ids: np.ndarray,
+    upper_bounds: np.ndarray,
+    lower_bounds: np.ndarray,
+    rng: np.random.Generator,
+    counters: SamplingCounters,
+    use_outliers: bool = True,
+    validate_bounds: bool = False,
+) -> TrialOutcome:
+    """One rejection-sampling trial for every walker in ``walker_ids``.
+
+    ``upper_bounds``/``lower_bounds`` are the per-vertex envelope
+    arrays (length |V|).  Every walker must reside at a vertex with
+    positive static mass; the engine filters dead ends beforehand.
+
+    ``validate_bounds`` enables the debug check that every evaluated Pd
+    respects the declared envelope (values above it are legal only on
+    declared outlier edges).  A violated envelope silently skews the
+    sampled law, so the check turns that bug into a loud
+    :class:`~repro.errors.ProgramError` — at the cost of one comparison
+    per evaluation, hence opt-in.
+    """
+    count = walker_ids.size
+    vertices = walkers.current[walker_ids]
+    upper = upper_bounds[vertices]
+    lower = lower_bounds[vertices]
+    main_area = tables.totals[vertices] * upper
+
+    outlier_edges = None
+    outlier_masses = None
+    appendix_area = None
+    if use_outliers:
+        declared = program.batch_outliers(graph, walkers, walker_ids)
+        if declared is not None:
+            outlier_edges, outlier_bounds, outlier_widths, outlier_masses = declared
+            appendix_area = np.where(
+                outlier_edges >= 0,
+                outlier_widths * np.maximum(outlier_bounds - upper, 0.0),
+                0.0,
+            )
+
+    accepted = np.zeros(count, dtype=bool)
+    edges = np.full(count, -1, dtype=np.int64)
+    counters.trials += count
+
+    if appendix_area is None:
+        main_lanes = np.arange(count)
+    else:
+        total_area = main_area + appendix_area
+        region = rng.random(count) * total_area
+        in_main = region < main_area
+        main_lanes = np.flatnonzero(in_main)
+        appendix_lanes = np.flatnonzero(~in_main)
+        _appendix_trials(
+            graph,
+            program,
+            walkers,
+            walker_ids,
+            appendix_lanes,
+            outlier_edges,
+            outlier_masses,
+            appendix_area,
+            upper,
+            rng,
+            counters,
+            accepted,
+            edges,
+        )
+
+    if main_lanes.size:
+        candidates = tables.sample_batch(vertices[main_lanes], rng)
+        darts = rng.random(main_lanes.size) * upper[main_lanes]
+        pre = darts <= lower[main_lanes]
+        counters.pre_accepts += int(pre.sum())
+        pre_lanes = main_lanes[pre]
+        accepted[pre_lanes] = True
+        edges[pre_lanes] = candidates[pre]
+
+        need = np.flatnonzero(~pre)
+        if need.size:
+            lanes = main_lanes[need]
+            dynamic = program.batch_dynamic_comp(
+                graph, walkers, walker_ids[lanes], candidates[need]
+            )
+            counters.pd_evaluations += need.size
+            if validate_bounds:
+                _validate_envelope(
+                    graph,
+                    dynamic,
+                    upper[lanes],
+                    candidates[need],
+                    outlier_edges[lanes] if outlier_edges is not None else None,
+                )
+            passed = darts[need] <= dynamic
+            ok_lanes = lanes[passed]
+            accepted[ok_lanes] = True
+            edges[ok_lanes] = candidates[need][passed]
+
+    counters.accepts += int(accepted.sum())
+    return TrialOutcome(accepted=accepted, edges=edges)
+
+
+def _validate_envelope(
+    graph,
+    dynamic: np.ndarray,
+    upper: np.ndarray,
+    candidate_edges: np.ndarray,
+    declared_outliers: np.ndarray | None,
+) -> None:
+    """Raise if any evaluated Pd exceeds its envelope illegitimately.
+
+    Exemption is by *target vertex* of the declared outlier, so all
+    parallel copies of a folded edge (which share its Pd) are covered.
+    """
+    from repro.errors import ProgramError
+
+    over = dynamic > upper * (1.0 + 1e-12)
+    if declared_outliers is not None:
+        has_outlier = declared_outliers >= 0
+        same_target = np.zeros(candidate_edges.size, dtype=bool)
+        same_target[has_outlier] = (
+            graph.targets[candidate_edges[has_outlier]]
+            == graph.targets[declared_outliers[has_outlier]]
+        )
+        over &= ~same_target
+    if over.any():
+        lane = int(np.flatnonzero(over)[0])
+        raise ProgramError(
+            f"edgeDynamicComp returned {dynamic[lane]} above the declared "
+            f"envelope {upper[lane]} for a non-outlier edge "
+            f"{int(candidate_edges[lane])}; the sampled law would be wrong"
+        )
+
+
+def _appendix_trials(
+    graph,
+    program: WalkerProgram,
+    walkers: WalkerSet,
+    walker_ids: np.ndarray,
+    lanes: np.ndarray,
+    outlier_edges: np.ndarray,
+    outlier_masses: np.ndarray,
+    appendix_area: np.ndarray,
+    upper: np.ndarray,
+    rng: np.random.Generator,
+    counters: SamplingCounters,
+    accepted: np.ndarray,
+    edges: np.ndarray,
+) -> None:
+    """Darts landing in outlier appendices (mutates accepted/edges)."""
+    if lanes.size == 0:
+        return
+    counters.appendix_trials += lanes.size
+    target_edges = outlier_edges[lanes]
+    dynamic = program.batch_dynamic_comp(
+        graph, walkers, walker_ids[lanes], target_edges
+    )
+    counters.pd_evaluations += lanes.size
+    chopped = outlier_masses[lanes] * np.maximum(dynamic - upper[lanes], 0.0)
+    passed = rng.random(lanes.size) * appendix_area[lanes] < chopped
+    ok_lanes = lanes[passed]
+    accepted[ok_lanes] = True
+    edges[ok_lanes] = target_edges[passed]
+
+
+def full_scan_distribution(
+    graph,
+    tables: StaticTables,
+    program: WalkerProgram,
+    walkers: WalkerSet,
+    walker_id: int,
+) -> tuple[np.ndarray, int]:
+    """Per-edge unnormalised mass ``Ps * Pd`` at one walker's vertex,
+    plus the number of Pd evaluations spent computing it.
+
+    Used by the engines' zero-mass guard: when a walker's trials keep
+    failing (possible under Meta-path when no out-edge has the required
+    type), a single full scan decides between "no eligible out-edges —
+    terminate" (paper section 2.2's no-positive-probability rule) and
+    "eligible mass exists", in which case the engine samples exactly
+    from the scanned distribution, bounding the worst case without
+    changing the sampled law.
+    """
+    view = walkers.view(walker_id)
+    vertex = view.current
+    start, end = graph.edge_range(vertex)
+    static = tables.static_weights
+    mass = np.zeros(end - start, dtype=np.float64)
+    evaluations = 0
+    for offset, edge_index in enumerate(range(start, end)):
+        if static[edge_index] <= 0.0:
+            continue
+        query = program.state_query(graph, view, edge_index)
+        result = (
+            program.answer_state_query(graph, query) if query is not None else None
+        )
+        dynamic = program.edge_dynamic_comp(graph, view, edge_index, result)
+        evaluations += 1
+        mass[offset] = static[edge_index] * dynamic
+    return mass, evaluations
+
+
+def full_scan_mass(
+    graph,
+    tables: StaticTables,
+    program: WalkerProgram,
+    walkers: WalkerSet,
+    walker_id: int,
+) -> tuple[float, int]:
+    """Total unnormalised transition mass at one walker's vertex."""
+    mass, evaluations = full_scan_distribution(
+        graph, tables, program, walkers, walker_id
+    )
+    return float(mass.sum()), evaluations

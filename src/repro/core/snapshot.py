@@ -1,0 +1,194 @@
+"""Walk checkpoint and resume.
+
+Long walks (PPR with a heavy tail, |V| walkers on a large graph) want
+fault tolerance: :func:`save_checkpoint` captures a running engine's
+complete dynamic state — walker positions and custom state, recorded
+paths, statistics, and the RNG stream — into a single ``.npz``;
+:func:`restore_checkpoint` rebuilds an engine that continues the walk
+*bit-identically* to an uninterrupted run (the resume-determinism test
+asserts exactly that).
+
+Graph and program are not serialised: they are reproducible inputs the
+caller passes again at restore time, as with every checkpointing
+system that separates immutable datasets from mutable state.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.core.trace import PathRecorder
+from repro.core.program import WalkerProgram
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_checkpoint", "restore_checkpoint"]
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(engine: WalkEngine, path: str | os.PathLike) -> None:
+    """Serialise the engine's dynamic state to ``path`` (.npz)."""
+    if engine._recorder is not None and not isinstance(
+        engine._recorder, PathRecorder
+    ):
+        raise ReproError(
+            "checkpointing is not supported with streaming path output "
+            "(already-spilled sequences cannot be captured)"
+        )
+    walkers = engine.walkers
+    payload: dict[str, np.ndarray] = {
+        "version": np.asarray([FORMAT_VERSION]),
+        "current": walkers.current,
+        "previous": walkers.previous,
+        "steps": walkers.steps,
+        "alive": walkers.alive,
+        "rejection_streak": engine._rejection_streak,
+        "rng_state": np.frombuffer(
+            pickle.dumps(engine._rng.bit_generator.state), dtype=np.uint8
+        ),
+        "stats_scalars": np.asarray(
+            [
+                engine.stats.total_steps,
+                engine.stats.iterations,
+                engine.stats.teleports,
+                engine.stats.full_scan_evaluations,
+                engine.stats.messages_sent,
+                engine.stats.counters.trials,
+                engine.stats.counters.pd_evaluations,
+                engine.stats.counters.pre_accepts,
+                engine.stats.counters.appendix_trials,
+                engine.stats.counters.accepts,
+                engine.stats.termination.by_step_limit,
+                engine.stats.termination.by_probability,
+                engine.stats.termination.by_dead_end,
+            ],
+            dtype=np.int64,
+        ),
+        "active_per_iteration": np.asarray(
+            engine.stats.active_per_iteration, dtype=np.int64
+        ),
+    }
+
+    if walkers.history is not None:
+        payload["history"] = walkers.history
+
+    # Custom walker state arrays.
+    state_names = list(walkers._custom)
+    payload["state_names"] = np.asarray(state_names, dtype="U64")
+    for name in state_names:
+        payload[f"state_{name}"] = walkers.state(name)
+
+    # Recorded moves (flattened with per-batch lengths).
+    if engine._recorder is not None:
+        recorder = engine._recorder
+        lengths = np.asarray(
+            [batch.size for batch in recorder._move_walkers], dtype=np.int64
+        )
+        payload["recorder_lengths"] = lengths
+        payload["recorder_walkers"] = (
+            np.concatenate(recorder._move_walkers)
+            if lengths.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        payload["recorder_vertices"] = (
+            np.concatenate(recorder._move_vertices)
+            if lengths.size
+            else np.zeros(0, dtype=np.int64)
+        )
+
+    np.savez_compressed(path, **payload)
+
+
+def restore_checkpoint(
+    graph: CSRGraph,
+    program: WalkerProgram,
+    config: WalkConfig,
+    path: str | os.PathLike,
+) -> WalkEngine:
+    """Rebuild an engine from a checkpoint; ``run()`` continues it.
+
+    ``graph``, ``program``, and ``config`` must be the ones the
+    checkpointed engine was constructed with (the static state is
+    re-derived from them; only dynamic state is loaded).
+    """
+    engine = WalkEngine(graph, program, config)
+    walkers = engine.walkers
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["version"][0])
+            if version != FORMAT_VERSION:
+                raise ReproError(
+                    f"checkpoint version {version} unsupported "
+                    f"(expected {FORMAT_VERSION})"
+                )
+            if data["current"].size != walkers.num_walkers:
+                raise ReproError(
+                    "checkpoint walker count does not match configuration"
+                )
+            walkers.current[:] = data["current"]
+            walkers.previous[:] = data["previous"]
+            walkers.steps[:] = data["steps"]
+            walkers.alive[:] = data["alive"]
+            if walkers.history is not None:
+                if "history" not in data:
+                    raise ReproError(
+                        "checkpoint lacks walker history for this program"
+                    )
+                walkers.history[:] = data["history"]
+            engine._rejection_streak[:] = data["rejection_streak"]
+            engine._rng.bit_generator.state = pickle.loads(
+                data["rng_state"].tobytes()
+            )
+
+            scalars = data["stats_scalars"]
+            stats = engine.stats
+            (
+                stats.total_steps,
+                stats.iterations,
+                stats.teleports,
+                stats.full_scan_evaluations,
+                stats.messages_sent,
+                stats.counters.trials,
+                stats.counters.pd_evaluations,
+                stats.counters.pre_accepts,
+                stats.counters.appendix_trials,
+                stats.counters.accepts,
+                stats.termination.by_step_limit,
+                stats.termination.by_probability,
+                stats.termination.by_dead_end,
+            ) = (int(value) for value in scalars)
+            stats.active_per_iteration = data["active_per_iteration"].tolist()
+
+            for name in data["state_names"]:
+                name = str(name)
+                walkers.state(name)[:] = data[f"state_{name}"]
+
+            if engine._recorder is not None:
+                if "recorder_lengths" not in data:
+                    raise ReproError(
+                        "checkpoint lacks recorded paths but record_paths=True"
+                    )
+                recorder = engine._recorder
+                recorder._move_walkers.clear()
+                recorder._move_vertices.clear()
+                offsets = np.zeros(
+                    data["recorder_lengths"].size + 1, dtype=np.int64
+                )
+                np.cumsum(data["recorder_lengths"], out=offsets[1:])
+                flat_walkers = data["recorder_walkers"]
+                flat_vertices = data["recorder_vertices"]
+                for index in range(offsets.size - 1):
+                    low, high = offsets[index], offsets[index + 1]
+                    recorder._move_walkers.append(flat_walkers[low:high].copy())
+                    recorder._move_vertices.append(
+                        flat_vertices[low:high].copy()
+                    )
+        except KeyError as exc:
+            raise ReproError(f"malformed checkpoint {path}: {exc}") from exc
+    return engine

@@ -1,0 +1,92 @@
+"""Execution statistics.
+
+The paper's evaluation reports two kinds of quantities: wall-clock run
+time, and machine-independent work counts (transition-probability
+evaluations per step, Table 1 / Table 5 / Figure 6; active walkers per
+iteration, Figure 5).  :class:`WalkStats` collects both for every
+engine in this repository, so benchmarks can print either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sampling.rejection import SamplingCounters
+
+__all__ = ["WalkStats", "TerminationBreakdown"]
+
+
+@dataclass
+class TerminationBreakdown:
+    """Why walkers ended their walks."""
+
+    by_step_limit: int = 0
+    by_probability: int = 0
+    by_dead_end: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.by_step_limit + self.by_probability + self.by_dead_end
+
+
+@dataclass
+class WalkStats:
+    """Counters accumulated over one walk execution.
+
+    Attributes
+    ----------
+    counters:
+        sampling work counters (trials, Pd evaluations, pre-accepts).
+    total_steps:
+        number of successful walker moves across all walkers — the
+        denominator of the paper's "edges/step" metric.
+    iterations:
+        engine iterations (supersteps) executed.
+    active_per_iteration:
+        number of active walkers entering each iteration — the series
+        Figure 5 plots to show random walk's "longer and thinner" tail.
+    full_scan_evaluations:
+        Pd evaluations spent in zero-mass-detection scans (kept
+        separate so the rejection numbers stay comparable to the
+        paper's, but included in the per-step totals).
+    wall_time_seconds:
+        wall-clock of the walk loop (excludes graph loading, matching
+        the paper's methodology; includes sampling-structure and
+        walker initialization).
+    """
+
+    counters: SamplingCounters = field(default_factory=SamplingCounters)
+    termination: TerminationBreakdown = field(default_factory=TerminationBreakdown)
+    total_steps: int = 0
+    teleports: int = 0
+    iterations: int = 0
+    active_per_iteration: list[int] = field(default_factory=list)
+    full_scan_evaluations: int = 0
+    messages_sent: int = 0
+    wall_time_seconds: float = 0.0
+    init_time_seconds: float = 0.0
+
+    @property
+    def pd_evaluations_per_step(self) -> float:
+        """The paper's headline "edges/step" metric: dynamic transition
+        probabilities computed per successful walker move."""
+        if self.total_steps == 0:
+            return 0.0
+        return (
+            self.counters.pd_evaluations + self.full_scan_evaluations
+        ) / self.total_steps
+
+    @property
+    def trials_per_step(self) -> float:
+        """Average rejection-sampling trials per move (paper Eq. 3)."""
+        if self.total_steps == 0:
+            return 0.0
+        return self.counters.trials / self.total_steps
+
+    def summary(self) -> str:
+        return (
+            f"steps={self.total_steps} iterations={self.iterations} "
+            f"pd_evals/step={self.pd_evaluations_per_step:.3f} "
+            f"trials/step={self.trials_per_step:.3f} "
+            f"wall={self.wall_time_seconds:.3f}s"
+        )

@@ -1,0 +1,117 @@
+"""Walk path recording.
+
+Algorithms like DeepWalk and node2vec consume the *sequences* a walk
+produces (each walker's vertex path becomes a "sentence" for skip-gram
+training), so the engine can optionally record every move.
+
+Recording is append-per-iteration rather than append-per-walker: each
+iteration contributes one (walker_ids, vertices) pair of arrays, and
+full per-walker paths are reconstructed once at the end.  This keeps
+the hot loop free of per-walker Python work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PathRecorder", "StreamingPathRecorder"]
+
+
+class PathRecorder:
+    """Accumulates walker moves and reconstructs per-walker paths."""
+
+    def __init__(self, start_vertices: np.ndarray) -> None:
+        self._starts = np.asarray(start_vertices, dtype=np.int64).copy()
+        self._move_walkers: list[np.ndarray] = []
+        self._move_vertices: list[np.ndarray] = []
+
+    @property
+    def num_walkers(self) -> int:
+        return self._starts.size
+
+    def record_moves(self, walker_ids: np.ndarray, vertices: np.ndarray) -> None:
+        """Record one iteration's successful moves."""
+        if len(walker_ids):
+            self._move_walkers.append(np.asarray(walker_ids, dtype=np.int64).copy())
+            self._move_vertices.append(np.asarray(vertices, dtype=np.int64).copy())
+
+    def paths(self) -> list[np.ndarray]:
+        """Per-walker vertex sequences, starts included.
+
+        A walker that took ``k`` steps yields an array of ``k + 1``
+        vertices.  Iteration order of recorded moves preserves each
+        walker's step order, so a single stable pass suffices.
+        """
+        lengths = np.ones(self.num_walkers, dtype=np.int64)
+        for walker_ids in self._move_walkers:
+            np.add.at(lengths, walker_ids, 1)
+        paths = [np.empty(length, dtype=np.int64) for length in lengths]
+        cursor = np.zeros(self.num_walkers, dtype=np.int64)
+        for walker_id, start in enumerate(self._starts):
+            paths[walker_id][0] = start
+        cursor += 1
+        for walker_ids, vertices in zip(self._move_walkers, self._move_vertices):
+            for walker_id, vertex in zip(walker_ids, vertices):
+                paths[walker_id][cursor[walker_id]] = vertex
+                cursor[walker_id] += 1
+        return paths
+
+    def as_corpus(self) -> list[list[int]]:
+        """Paths as plain lists of ints (skip-gram training input)."""
+        return [path.tolist() for path in self.paths()]
+
+
+class StreamingPathRecorder:
+    """Writes each walker's full sequence to disk when its walk ends.
+
+    For |V|-walker runs with long paths, keeping every sequence in
+    memory until the end can dominate the engine's footprint.  This
+    recorder holds only the *active* walkers' partial sequences; the
+    engine calls :meth:`flush_finished` after each iteration with the
+    walkers that just terminated, and their lines go straight to the
+    corpus file (the :func:`repro.analysis.load_corpus` format, one
+    whitespace-separated walk per line).
+
+    Line order is termination order, not walker order — walk corpora
+    are order-insensitive (skip-gram shuffles anyway).
+    """
+
+    def __init__(self, path, start_vertices: np.ndarray) -> None:
+        self._handle = open(path, "w", encoding="ascii")
+        self._partial: dict[int, list[int]] = {
+            walker_id: [int(start)]
+            for walker_id, start in enumerate(
+                np.asarray(start_vertices, dtype=np.int64)
+            )
+        }
+        self.lines_written = 0
+
+    @property
+    def num_walkers(self) -> int:
+        return self.lines_written + len(self._partial)
+
+    def record_moves(self, walker_ids: np.ndarray, vertices: np.ndarray) -> None:
+        for walker_id, vertex in zip(walker_ids, vertices):
+            self._partial[int(walker_id)].append(int(vertex))
+
+    def flush_finished(self, walker_ids: np.ndarray) -> None:
+        """Write and release the sequences of terminated walkers."""
+        for walker_id in walker_ids:
+            sequence = self._partial.pop(int(walker_id), None)
+            if sequence is None:
+                continue
+            self._handle.write(" ".join(str(v) for v in sequence) + "\n")
+            self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush any remaining (interrupted) walkers and close."""
+        if not self._handle.closed:
+            remaining = np.asarray(sorted(self._partial), dtype=np.int64)
+            self.flush_finished(remaining)
+            self._handle.close()
+
+    def __enter__(self) -> "StreamingPathRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,21 @@
+"""Embedding substrate: the consumer of DeepWalk/node2vec walks.
+
+Implements skip-gram with negative sampling over walk corpora and a
+link-prediction evaluation, closing the paper's application pipeline
+(graph -> walks -> embeddings -> task) inside this repository.
+"""
+
+from repro.embedding.evaluation import (
+    cosine_scores,
+    link_prediction_auc,
+    sample_edge_split,
+)
+from repro.embedding.sgns import SkipGramModel, extract_training_pairs
+
+__all__ = [
+    "SkipGramModel",
+    "extract_training_pairs",
+    "cosine_scores",
+    "link_prediction_auc",
+    "sample_edge_split",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed or inconsistent graph inputs."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph representation fails."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partitioning requests (e.g. zero nodes)."""
+
+
+class SamplingError(ReproError):
+    """Raised for invalid sampling setups (e.g. negative weights)."""
+
+
+class ProgramError(ReproError):
+    """Raised when a :class:`~repro.core.program.WalkerProgram` is
+    misconfigured, e.g. a dynamic upper bound below an observed Pd."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid :class:`~repro.core.config.WalkConfig` values."""
+
+
+class ClusterError(ReproError):
+    """Raised by the distributed-execution simulator for protocol
+    violations, e.g. a message addressed to a vertex nobody owns."""

@@ -1,0 +1,281 @@
+"""Synthetic graph generators.
+
+The paper's topology-sensitivity study (section 7.3, Figure 6) uses
+three families of synthetic graphs, all reproduced here:
+
+* uniform-degree graphs (Figure 6a, density sweep);
+* truncated power-law graphs (Figure 6b, skewness sweep); and
+* hotspot-injected graphs (Figure 6c, a uniform graph plus a few very
+  high-degree vertices).
+
+In addition, :func:`rmat_graph` and :func:`erdos_renyi_graph` provide
+generic skewed/unskewed topologies used by the dataset stand-ins in
+:mod:`repro.graph.datasets`.
+
+All generators are deterministic given a seed and return
+:class:`~repro.graph.csr.CSRGraph` instances built through the
+vectorised fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "uniform_degree_graph",
+    "truncated_power_law_graph",
+    "hotspot_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "ring_graph",
+    "complete_graph",
+    "star_graph",
+    "sample_truncated_power_law",
+]
+
+
+def _random_targets(
+    rng: np.random.Generator, sources: np.ndarray, num_vertices: int
+) -> np.ndarray:
+    """Uniform random edge targets avoiding self loops.
+
+    Self loops would make node2vec's ``d_tx = 0`` return-edge case
+    ambiguous, so we shift any collision by one (mod n), which keeps the
+    target distribution effectively uniform.
+    """
+    targets = rng.integers(0, num_vertices, size=sources.size, dtype=np.int64)
+    collisions = targets == sources
+    targets[collisions] = (targets[collisions] + 1) % num_vertices
+    return targets
+
+
+def uniform_degree_graph(
+    num_vertices: int,
+    degree: int,
+    seed: int,
+    undirected: bool = False,
+) -> CSRGraph:
+    """Graph where every vertex has exactly ``degree`` out-edges.
+
+    Targets are uniform random (no self loops; parallel edges possible
+    but rare for degree << n).  With ``undirected=True``, edges are
+    mirrored, so the mean out-degree becomes ``2 * degree`` while the
+    distribution stays tightly concentrated.
+
+    This is the Figure 6a workload: traditional full-scan sampling
+    costs O(degree) per step on it, rejection sampling O(1).
+    """
+    if degree <= 0:
+        raise GraphError("degree must be positive")
+    if num_vertices < 2:
+        raise GraphError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    sources = np.repeat(np.arange(num_vertices, dtype=np.int64), degree)
+    targets = _random_targets(rng, sources, num_vertices)
+    return from_arrays(num_vertices, sources, targets, undirected=undirected)
+
+
+def sample_truncated_power_law(
+    rng: np.random.Generator,
+    size: int,
+    exponent: float,
+    min_value: int,
+    max_value: int,
+) -> np.ndarray:
+    """Draw ``size`` integers from a truncated power law.
+
+    ``P(d) proportional to d ** -exponent`` on ``[min_value, max_value]``,
+    zero outside — the paper's "truncated" degree distribution where the
+    upper bound controls skewness (section 7.3).  Uses inverse-CDF
+    sampling of the continuous analogue, then floors to integers.
+    """
+    if not min_value >= 1:
+        raise GraphError("min_value must be >= 1")
+    if max_value < min_value:
+        raise GraphError("max_value must be >= min_value")
+    if exponent == 1.0:
+        # The general formula divides by (1 - exponent); handle the
+        # logarithmic special case explicitly.
+        uniforms = rng.random(size)
+        values = min_value * np.exp(
+            uniforms * np.log((max_value + 1) / min_value)
+        )
+    else:
+        power = 1.0 - exponent
+        low = float(min_value) ** power
+        high = float(max_value + 1) ** power
+        uniforms = rng.random(size)
+        values = (low + uniforms * (high - low)) ** (1.0 / power)
+    return np.clip(values.astype(np.int64), min_value, max_value)
+
+
+def truncated_power_law_graph(
+    num_vertices: int,
+    exponent: float,
+    min_degree: int,
+    max_degree: int,
+    seed: int,
+    undirected: bool = False,
+) -> CSRGraph:
+    """Graph with out-degrees drawn from a truncated power law.
+
+    Raising ``max_degree`` (the truncation bound) with everything else
+    fixed increases degree variance much faster than the mean — the
+    Figure 6b experiment raises it from 100 to 25600 and watches
+    full-scan sampling cost blow up 67x while the mean grows 3.9x.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = sample_truncated_power_law(
+        rng, num_vertices, exponent, min_degree, max_degree
+    )
+    sources = np.repeat(np.arange(num_vertices, dtype=np.int64), degrees)
+    targets = _random_targets(rng, sources, num_vertices)
+    return from_arrays(num_vertices, sources, targets, undirected=undirected)
+
+
+def hotspot_graph(
+    num_vertices: int,
+    base_degree: int,
+    num_hotspots: int,
+    hotspot_degree: int,
+    seed: int,
+) -> CSRGraph:
+    """A uniform-degree graph with a few very high-degree "hotspots".
+
+    Reproduces the Figure 6c construction: start from a uniform graph
+    of ``base_degree`` and add ``num_hotspots`` vertices each incident
+    to ``hotspot_degree`` edges.  Hotspot edges are stored in both
+    directions so hotspots both attract walkers (high in-degree) and
+    are expensive to leave under full-scan sampling (high out-degree).
+
+    The base uniform edges stay directed, matching
+    :func:`uniform_degree_graph`'s exact-degree construction; only the
+    hotspot attachments are mirrored.
+    """
+    if num_hotspots < 0:
+        raise GraphError("num_hotspots must be non-negative")
+    if num_hotspots and hotspot_degree <= 0:
+        raise GraphError("hotspot_degree must be positive")
+    if num_hotspots >= num_vertices:
+        raise GraphError("more hotspots than vertices")
+    rng = np.random.default_rng(seed)
+
+    sources = np.repeat(np.arange(num_vertices, dtype=np.int64), base_degree)
+    targets = _random_targets(rng, sources, num_vertices)
+
+    # Hotspots are the last ``num_hotspots`` vertex ids; they attach to
+    # uniform random non-hotspot vertices, mirrored in both directions.
+    hotspot_ids = np.arange(
+        num_vertices - num_hotspots, num_vertices, dtype=np.int64
+    )
+    extra_sources = []
+    extra_targets = []
+    for hotspot in hotspot_ids:
+        attached = rng.integers(
+            0, num_vertices - num_hotspots, size=hotspot_degree, dtype=np.int64
+        )
+        extra_sources.append(np.full(hotspot_degree, hotspot, dtype=np.int64))
+        extra_targets.append(attached)
+        extra_sources.append(attached)
+        extra_targets.append(np.full(hotspot_degree, hotspot, dtype=np.int64))
+    if extra_sources:
+        sources = np.concatenate([sources, *extra_sources])
+        targets = np.concatenate([targets, *extra_targets])
+    return from_arrays(num_vertices, sources, targets)
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    mean_degree: float,
+    seed: int,
+    undirected: bool = False,
+) -> CSRGraph:
+    """G(n, m)-style random graph with the given mean out-degree."""
+    if mean_degree <= 0:
+        raise GraphError("mean_degree must be positive")
+    rng = np.random.default_rng(seed)
+    num_edges = int(round(num_vertices * mean_degree))
+    sources = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    targets = _random_targets(rng, sources, num_vertices)
+    return from_arrays(num_vertices, sources, targets, undirected=undirected)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int,
+    seed: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    undirected: bool = False,
+) -> CSRGraph:
+    """Recursive-matrix (R-MAT) graph with ``2**scale`` vertices.
+
+    R-MAT produces the heavy-tailed, hub-dominated degree distributions
+    characteristic of social/web graphs; it is our stand-in topology for
+    Twitter-like and UK-Union-like skew.  Probabilities ``(a, b, c, d)``
+    follow the Graph500 convention (``d = 1 - a - b - c``).
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphError("R-MAT probabilities must be a partition of 1")
+    num_vertices = 1 << scale
+    num_edges = num_vertices * edge_factor
+    rng = np.random.default_rng(seed)
+
+    sources = np.zeros(num_edges, dtype=np.int64)
+    targets = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        quadrant = rng.random(num_edges)
+        go_down = quadrant >= a + b  # rows c/d: source bit set
+        go_right = ((quadrant >= a) & (quadrant < a + b)) | (quadrant >= a + b + c)
+        bit = np.int64(1) << np.int64(scale - 1 - level)
+        sources += bit * go_down
+        targets += bit * go_right
+    collisions = sources == targets
+    targets[collisions] = (targets[collisions] + 1) % num_vertices
+    # Scramble ids so hubs are not clustered at low vertex numbers,
+    # which would bias contiguous 1-D partitions unrealistically.
+    permutation = rng.permutation(num_vertices).astype(np.int64)
+    return from_arrays(
+        num_vertices,
+        permutation[sources],
+        permutation[targets],
+        undirected=undirected,
+    )
+
+
+def ring_graph(num_vertices: int, undirected: bool = False) -> CSRGraph:
+    """Simple cycle 0 -> 1 -> ... -> n-1 -> 0; handy in tests."""
+    if num_vertices < 2:
+        raise GraphError("ring needs at least two vertices")
+    sources = np.arange(num_vertices, dtype=np.int64)
+    targets = (sources + 1) % num_vertices
+    return from_arrays(num_vertices, sources, targets, undirected=undirected)
+
+
+def complete_graph(num_vertices: int) -> CSRGraph:
+    """All ordered pairs (u, v), u != v; used as an oracle in tests."""
+    if num_vertices < 2:
+        raise GraphError("complete graph needs at least two vertices")
+    grid_source, grid_target = np.meshgrid(
+        np.arange(num_vertices, dtype=np.int64),
+        np.arange(num_vertices, dtype=np.int64),
+        indexing="ij",
+    )
+    mask = grid_source != grid_target
+    return from_arrays(num_vertices, grid_source[mask], grid_target[mask])
+
+
+def star_graph(num_leaves: int, undirected: bool = True) -> CSRGraph:
+    """Hub vertex 0 connected to ``num_leaves`` leaves; the minimal
+    hotspot topology, used to unit-test rejection-vs-full-scan costs."""
+    if num_leaves < 1:
+        raise GraphError("star needs at least one leaf")
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    return from_arrays(num_leaves + 1, hub, leaves, undirected=undirected)

@@ -1,0 +1,148 @@
+"""Graph persistence: edge-list text files and a compact binary format.
+
+The text format is the lowest common denominator used by every graph
+system (one ``src dst [weight] [type]`` line per edge, ``#`` comments);
+the binary format is a plain ``.npz`` of the CSR arrays, loading in
+O(read) without a re-sort.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_binary",
+    "load_binary",
+]
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write one ``src dst [weight] [type]`` line per stored edge.
+
+    Undirected graphs write both stored directions; loading with
+    ``undirected=False`` (the default) round-trips exactly.
+    """
+    sources = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees()
+    )
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for index in range(graph.num_edges):
+            fields = [str(int(sources[index])), str(int(graph.targets[index]))]
+            if graph.weights is not None:
+                fields.append(repr(float(graph.weights[index])))
+            if graph.edge_types is not None:
+                if graph.weights is None:
+                    fields.append("1.0")
+                fields.append(str(int(graph.edge_types[index])))
+            handle.write(" ".join(fields) + "\n")
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    num_vertices: int | None = None,
+    undirected: bool = False,
+) -> CSRGraph:
+    """Parse an edge-list text file into a CSR graph.
+
+    Lines are ``src dst``, ``src dst weight`` or ``src dst weight type``;
+    blank lines and ``#`` comments are ignored.  A ``# vertices N``
+    header (as written by :func:`save_edge_list`) pins the vertex count;
+    otherwise it defaults to ``max id + 1`` or the explicit argument.
+    """
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    edge_types: list[int] = []
+    any_weight = False
+    any_type = False
+    declared_vertices: int | None = None
+
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    declared_vertices = int(parts[1])
+                continue
+            fields = line.split()
+            if len(fields) < 2 or len(fields) > 4:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 2-4 fields, got {len(fields)}"
+                )
+            try:
+                sources.append(int(fields[0]))
+                targets.append(int(fields[1]))
+                if len(fields) >= 3:
+                    weights.append(float(fields[2]))
+                    any_weight = True
+                else:
+                    weights.append(1.0)
+                if len(fields) == 4:
+                    edge_types.append(int(fields[3]))
+                    any_type = True
+                else:
+                    edge_types.append(0)
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: cannot parse {line!r}"
+                ) from exc
+
+    if num_vertices is None:
+        num_vertices = declared_vertices
+    if num_vertices is None:
+        if not sources:
+            raise GraphFormatError(f"{path}: empty graph with no vertex count")
+        num_vertices = max(max(sources), max(targets)) + 1
+
+    return from_arrays(
+        num_vertices,
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        weights=np.asarray(weights, dtype=np.float64) if any_weight else None,
+        edge_types=np.asarray(edge_types, dtype=np.int32) if any_type else None,
+        undirected=undirected,
+    )
+
+
+def save_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the raw CSR arrays as a compressed ``.npz``."""
+    payload: dict[str, np.ndarray] = {
+        "offsets": graph.offsets,
+        "targets": graph.targets,
+        "undirected": np.asarray([graph.is_undirected]),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    if graph.edge_types is not None:
+        payload["edge_types"] = graph.edge_types
+    if graph.vertex_types is not None:
+        payload["vertex_types"] = graph.vertex_types
+    np.savez_compressed(path, **payload)
+
+
+def load_binary(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously saved by :func:`save_binary`."""
+    with np.load(path) as data:
+        try:
+            return CSRGraph(
+                offsets=data["offsets"],
+                targets=data["targets"],
+                weights=data["weights"] if "weights" in data else None,
+                edge_types=data["edge_types"] if "edge_types" in data else None,
+                vertex_types=data["vertex_types"] if "vertex_types" in data else None,
+                undirected=bool(data["undirected"][0]),
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing CSR array {exc}") from exc

@@ -1,0 +1,135 @@
+"""Graph transformations: reverse, induced subgraph, components.
+
+Pre-processing utilities a walk pipeline routinely needs before the
+engine runs — e.g. restricting walks to the largest connected component
+so |V| walkers do not start on isolated debris, or reversing a directed
+graph to walk citation edges backwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_arrays
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import UNREACHED, bfs
+
+__all__ = [
+    "reverse_graph",
+    "induced_subgraph",
+    "connected_components",
+    "largest_component_subgraph",
+]
+
+
+def _flat_sources(graph: CSRGraph) -> np.ndarray:
+    return np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees()
+    )
+
+
+def reverse_graph(graph: CSRGraph) -> CSRGraph:
+    """The graph with every edge direction flipped.
+
+    Weights and edge types travel with their edge.  Undirected graphs
+    are their own reverse (up to edge ordering), so they are returned
+    re-built but equal.
+    """
+    sources = _flat_sources(graph)
+    reversed_graph = from_arrays(
+        graph.num_vertices,
+        graph.targets.copy(),
+        sources,
+        weights=None if graph.weights is None else graph.weights.copy(),
+        edge_types=None if graph.edge_types is None else graph.edge_types.copy(),
+        undirected=False,
+    )
+    if not graph.is_undirected:
+        return reversed_graph
+    # An undirected graph is its own reverse; re-flag it.
+    return CSRGraph(
+        reversed_graph.offsets,
+        reversed_graph.targets,
+        weights=reversed_graph.weights,
+        edge_types=reversed_graph.edge_types,
+        vertex_types=graph.vertex_types,
+        undirected=True,
+    )
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices`` with densely relabelled ids.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[new_id]`` is the
+    original vertex id.  Edges survive iff both endpoints are kept;
+    weights/types travel along.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size == 0:
+        raise GraphError("cannot induce a subgraph on zero vertices")
+    if vertices.min() < 0 or vertices.max() >= graph.num_vertices:
+        raise GraphError("subgraph vertex out of range")
+
+    new_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(vertices.size, dtype=np.int64)
+
+    sources = _flat_sources(graph)
+    keep = (new_id[sources] >= 0) & (new_id[graph.targets] >= 0)
+    # The stored edges of an undirected graph already include both
+    # directions (and induction keeps them symmetrically), so build
+    # without re-mirroring and only re-flag afterwards.
+    built = from_arrays(
+        vertices.size,
+        new_id[sources[keep]],
+        new_id[graph.targets[keep]],
+        weights=None if graph.weights is None else graph.weights[keep],
+        edge_types=None if graph.edge_types is None else graph.edge_types[keep],
+        undirected=False,
+    )
+    subgraph = CSRGraph(
+        built.offsets,
+        built.targets,
+        weights=built.weights,
+        edge_types=built.edge_types,
+        vertex_types=(
+            None if graph.vertex_types is None else graph.vertex_types[vertices]
+        ),
+        undirected=graph.is_undirected,
+    )
+    return subgraph, vertices
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component label per vertex (weakly connected for directed
+    graphs), computed by repeated BFS over the symmetrised graph."""
+    if graph.is_undirected:
+        symmetric = graph
+    else:
+        sources = _flat_sources(graph)
+        symmetric = from_arrays(
+            graph.num_vertices,
+            np.concatenate([sources, graph.targets]),
+            np.concatenate([graph.targets, sources]),
+        )
+    labels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    component = 0
+    for vertex in range(graph.num_vertices):
+        if labels[vertex] >= 0:
+            continue
+        reached = bfs(symmetric, vertex).levels != UNREACHED
+        labels[reached & (labels < 0)] = component
+        component += 1
+    return labels
+
+
+def largest_component_subgraph(
+    graph: CSRGraph,
+) -> tuple[CSRGraph, np.ndarray]:
+    """The induced subgraph of the largest (weak) component."""
+    labels = connected_components(graph)
+    counts = np.bincount(labels)
+    biggest = int(np.argmax(counts))
+    return induced_subgraph(graph, np.flatnonzero(labels == biggest))

@@ -1,0 +1,111 @@
+"""Graph traversal primitives.
+
+BFS is needed in two places of the reproduction:
+
+* Figure 5 compares the per-iteration active-set size of BFS against a
+  random walk's "longer and thinner" tail; and
+* the introduction's motivating measurement compares node2vec's vertex
+  navigation rate against BFS on the same graph.
+
+Both uses want the per-level frontier sizes, so :func:`bfs` returns
+them along with the level array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["BFSResult", "bfs", "largest_reachable_set"]
+
+UNREACHED = -1
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """Outcome of a breadth-first search.
+
+    Attributes
+    ----------
+    levels:
+        int64 array, distance from the source per vertex
+        (:data:`UNREACHED` for unreachable vertices).
+    frontier_sizes:
+        number of vertices first reached at each level, starting with
+        the source level (size 1) — the "active vertices" series that
+        Figure 5 plots per iteration.
+    """
+
+    levels: np.ndarray
+    frontier_sizes: list[int]
+
+    @property
+    def num_reached(self) -> int:
+        return int(np.count_nonzero(self.levels != UNREACHED))
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.frontier_sizes)
+
+
+def bfs(graph: CSRGraph, source: int) -> BFSResult:
+    """Level-synchronous BFS from ``source``.
+
+    Frontier expansion is vectorised over the CSR arrays: the next
+    frontier is the set of unvisited targets of every current-frontier
+    edge, computed with one fancy-indexing pass per level.
+    """
+    if not 0 <= source < graph.num_vertices:
+        raise GraphError(f"source {source} out of range")
+    levels = np.full(graph.num_vertices, UNREACHED, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    frontier_sizes = [1]
+    level = 0
+
+    offsets = graph.offsets
+    targets = graph.targets
+    while frontier.size:
+        level += 1
+        starts = offsets[frontier]
+        ends = offsets[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Gather all out-edges of the frontier in one shot.
+        gather = np.repeat(starts, counts) + (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        candidates = targets[gather]
+        fresh = candidates[levels[candidates] == UNREACHED]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        levels[fresh] = level
+        frontier = fresh
+        frontier_sizes.append(int(fresh.size))
+    return BFSResult(levels=levels, frontier_sizes=frontier_sizes)
+
+
+def largest_reachable_set(graph: CSRGraph, num_probes: int = 8, seed: int = 0) -> np.ndarray:
+    """Vertices of the largest reachable set found from random probes.
+
+    Used when picking walk start vertices that will not immediately
+    dead-end on sparse directed graphs.
+    """
+    rng = np.random.default_rng(seed)
+    best: np.ndarray | None = None
+    probes = rng.integers(0, graph.num_vertices, size=min(num_probes, graph.num_vertices))
+    for probe in probes:
+        result = bfs(graph, int(probe))
+        reached = np.flatnonzero(result.levels != UNREACHED)
+        if best is None or reached.size > best.size:
+            best = reached
+    assert best is not None
+    return best

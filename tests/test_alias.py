@@ -1,0 +1,169 @@
+"""Unit and property tests for alias-method sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.graph.builder import assign_random_weights, from_edges
+from repro.graph.generators import truncated_power_law_graph
+from repro.sampling.alias import AliasTable, VertexAliasTables, build_alias_arrays
+
+from tests.helpers import assert_matches_distribution, diamond_graph
+
+
+class TestBuildAliasArrays:
+    def test_structure(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        prob, alias = build_alias_arrays(weights)
+        assert prob.shape == alias.shape == (4,)
+        assert np.all((prob >= 0) & (prob <= 1 + 1e-12))
+        assert np.all((alias >= 0) & (alias < 4))
+
+    def test_reconstructs_weights(self):
+        """Total bucket mass assigned to each outcome equals its weight."""
+        weights = np.array([0.5, 3.0, 1.5, 2.0, 0.1])
+        prob, alias = build_alias_arrays(weights)
+        mass = np.zeros(5)
+        per_bucket = weights.sum() / 5
+        for bucket in range(5):
+            mass[bucket] += prob[bucket] * per_bucket
+            mass[alias[bucket]] += (1 - prob[bucket]) * per_bucket
+        np.testing.assert_allclose(mass, weights, rtol=1e-9)
+
+    def test_uniform_weights(self):
+        prob, _alias = build_alias_arrays(np.ones(7))
+        np.testing.assert_allclose(prob, np.ones(7))
+
+    def test_single_outcome(self):
+        prob, alias = build_alias_arrays(np.array([5.0]))
+        assert prob[0] == pytest.approx(1.0)
+        assert alias[0] == 0
+
+    def test_zero_weight_entries_never_sampled(self):
+        weights = np.array([0.0, 1.0, 0.0, 2.0])
+        table = AliasTable(weights)
+        rng = np.random.default_rng(0)
+        samples = table.sample_many(rng, 4000)
+        assert set(np.unique(samples)) <= {1, 3}
+
+    def test_errors(self):
+        with pytest.raises(SamplingError):
+            build_alias_arrays(np.array([]))
+        with pytest.raises(SamplingError):
+            build_alias_arrays(np.array([-1.0, 2.0]))
+        with pytest.raises(SamplingError):
+            build_alias_arrays(np.zeros(3))
+
+
+class TestAliasTable:
+    def test_distribution(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable(weights)
+        rng = np.random.default_rng(1)
+        samples = table.sample_many(rng, 40_000)
+        assert_matches_distribution(samples, weights)
+
+    def test_scalar_matches_batch_distribution(self):
+        weights = np.array([5.0, 1.0, 1.0])
+        table = AliasTable(weights)
+        rng = np.random.default_rng(2)
+        samples = [table.sample(rng) for _ in range(20_000)]
+        assert_matches_distribution(samples, weights)
+
+
+class TestVertexAliasTables:
+    def test_per_vertex_distribution(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexAliasTables(graph)
+        rng = np.random.default_rng(3)
+        for vertex in range(graph.num_vertices):
+            start, end = graph.edge_range(vertex)
+            samples = [tables.sample(vertex, rng) - start for _ in range(8000)]
+            assert_matches_distribution(samples, graph.edge_weights(vertex))
+
+    def test_default_weights_are_graph_weights(self):
+        graph = assign_random_weights(
+            truncated_power_law_graph(50, 2.0, 2, 10, seed=0), seed=1
+        )
+        tables = VertexAliasTables(graph)
+        np.testing.assert_array_equal(tables.static_weights, graph.weights)
+        assert tables.total_static(0) == pytest.approx(
+            graph.total_out_weight(0)
+        )
+
+    def test_batch_matches_scalar_distribution(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexAliasTables(graph)
+        rng = np.random.default_rng(4)
+        vertices = np.full(30_000, 1, dtype=np.int64)
+        start, _end = graph.edge_range(1)
+        samples = tables.sample_batch(vertices, rng) - start
+        assert_matches_distribution(samples, graph.edge_weights(1))
+
+    def test_custom_static_weights(self):
+        graph = diamond_graph()
+        custom = np.arange(1.0, graph.num_edges + 1.0)
+        tables = VertexAliasTables(graph, custom)
+        rng = np.random.default_rng(5)
+        start, end = graph.edge_range(2)
+        samples = [tables.sample(2, rng) - start for _ in range(10_000)]
+        assert_matches_distribution(samples, custom[start:end])
+
+    def test_dead_end_vertex(self):
+        graph = from_edges(3, [(0, 1)])
+        tables = VertexAliasTables(graph)
+        rng = np.random.default_rng(6)
+        with pytest.raises(SamplingError):
+            tables.sample(1, rng)
+        with pytest.raises(SamplingError):
+            tables.sample_batch(np.array([1]), rng)
+
+    def test_zero_mass_vertex(self):
+        graph = from_edges(3, [(0, 1), (0, 2)])
+        tables = VertexAliasTables(graph, np.zeros(2))
+        rng = np.random.default_rng(7)
+        with pytest.raises(SamplingError):
+            tables.sample(0, rng)
+
+    def test_misaligned_weights(self):
+        with pytest.raises(SamplingError):
+            VertexAliasTables(diamond_graph(), np.ones(3))
+
+    def test_negative_weights(self):
+        graph = from_edges(2, [(0, 1)])
+        with pytest.raises(SamplingError):
+            VertexAliasTables(graph, np.array([-1.0]))
+
+    def test_totals_array(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexAliasTables(graph)
+        for vertex in range(4):
+            assert tables.totals[vertex] == pytest.approx(
+                graph.total_out_weight(vertex)
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=100.0),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_alias_mass_conservation_property(weights):
+    """For any non-negative weights with positive total, the alias
+    table's implied per-outcome mass equals the input weights."""
+    weights = np.asarray(weights)
+    if weights.sum() <= 0:
+        return
+    prob, alias = build_alias_arrays(weights)
+    n = weights.size
+    mass = np.zeros(n)
+    per_bucket = weights.sum() / n
+    for bucket in range(n):
+        mass[bucket] += prob[bucket] * per_bucket
+        mass[alias[bucket]] += (1 - prob[bucket]) * per_bucket
+    np.testing.assert_allclose(mass, weights, rtol=1e-6, atol=1e-9)

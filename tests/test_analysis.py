@@ -1,0 +1,107 @@
+"""Tests for walk analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_transition_matrix,
+    load_corpus,
+    save_corpus,
+    skipgram_pairs,
+    transition_counts,
+    visit_counts,
+)
+from repro.errors import ReproError
+
+
+PATHS = [np.array([0, 1, 2, 1]), np.array([2, 0]), np.array([3])]
+
+
+class TestCounts:
+    def test_visit_counts(self):
+        counts = visit_counts(PATHS, 5)
+        assert counts.tolist() == [2, 2, 2, 1, 0]
+
+    def test_transition_counts(self):
+        counts = transition_counts(PATHS, 4)
+        assert counts[0, 1] == 1
+        assert counts[1, 2] == 1
+        assert counts[2, 1] == 1
+        assert counts[2, 0] == 1
+        assert counts.sum() == 4  # total moves
+
+    def test_repeated_transition_accumulates(self):
+        counts = transition_counts([np.array([0, 1, 0, 1])], 2)
+        assert counts[0, 1] == 2
+        assert counts[1, 0] == 1
+
+    def test_empirical_transition_matrix_rows_normalised(self):
+        matrix = empirical_transition_matrix(PATHS, 4)
+        row_sums = matrix.sum(axis=1)
+        assert row_sums[0] == pytest.approx(1.0)
+        assert row_sums[2] == pytest.approx(1.0)
+        assert row_sums[3] == 0.0  # vertex 3 never moved
+
+    def test_matches_engine_law(self):
+        """Empirical transition matrix of a uniform walk approximates
+        the uniform row-stochastic matrix."""
+        from repro.algorithms import UniformWalk
+        from repro.core.config import WalkConfig
+        from repro.core.engine import WalkEngine
+        from tests.helpers import diamond_graph
+
+        graph = diamond_graph()
+        config = WalkConfig(num_walkers=4000, max_steps=10, record_paths=True)
+        result = WalkEngine(graph, UniformWalk(), config).run()
+        matrix = empirical_transition_matrix(result.paths, 4)
+        for vertex in range(4):
+            neighbors = graph.neighbors(vertex)
+            expected = 1.0 / neighbors.size
+            for target in neighbors:
+                assert matrix[vertex, target] == pytest.approx(
+                    expected, abs=0.05
+                )
+
+
+class TestSkipGram:
+    def test_window_one(self):
+        pairs = list(skipgram_pairs([np.array([5, 6, 7])], window=1))
+        assert sorted(pairs) == [(5, 6), (6, 5), (6, 7), (7, 6)]
+
+    def test_window_clipped_at_boundaries(self):
+        pairs = list(skipgram_pairs([np.array([1, 2])], window=10))
+        assert sorted(pairs) == [(1, 2), (2, 1)]
+
+    def test_pair_count_formula(self):
+        # For a walk of length L and window w <= L-1:
+        # pairs = 2 * sum over offsets 1..w of (L - offset).
+        walk = np.arange(10)
+        window = 3
+        pairs = list(skipgram_pairs([walk], window=window))
+        expected = 2 * sum(10 - offset for offset in range(1, window + 1))
+        assert len(pairs) == expected
+
+    def test_invalid_window(self):
+        with pytest.raises(ReproError):
+            list(skipgram_pairs([np.array([0, 1])], window=0))
+
+
+class TestCorpusIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        save_corpus(PATHS, path)
+        loaded = load_corpus(path)
+        assert len(loaded) == 3
+        for original, reloaded in zip(PATHS, loaded):
+            np.testing.assert_array_equal(original, reloaded)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text("0 1\n\n2 3\n")
+        assert len(load_corpus(path)) == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text("0 one\n")
+        with pytest.raises(ReproError):
+            load_corpus(path)

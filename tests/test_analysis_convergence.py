@@ -1,0 +1,78 @@
+"""Tests for stationary-distribution and clustering analysis."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import UniformWalk
+from repro.analysis import (
+    estimate_clustering_coefficient,
+    stationary_distribution,
+    visit_counts,
+)
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.errors import ReproError
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_graph, uniform_degree_graph
+
+from tests.helpers import diamond_graph
+
+
+class TestStationaryDistribution:
+    def test_undirected_degree_proportional(self):
+        graph = diamond_graph()
+        stationary = stationary_distribution(graph)
+        degrees = graph.out_degrees().astype(float)
+        np.testing.assert_allclose(
+            stationary, degrees / degrees.sum(), atol=1e-8
+        )
+
+    def test_weighted_stationary(self):
+        # Two-state chain with asymmetric weights.
+        graph = from_edges(2, [(0, 1, 1.0), (1, 0, 1.0), (0, 0, 3.0)])
+        stationary = stationary_distribution(graph)
+        # pi P = pi: pi0 * 1/4 = pi1 -> pi = (4/5, 1/5).
+        np.testing.assert_allclose(stationary, [0.8, 0.2], atol=1e-6)
+
+    def test_sums_to_one(self):
+        graph = uniform_degree_graph(40, 4, seed=0, undirected=True)
+        assert stationary_distribution(graph).sum() == pytest.approx(1.0)
+
+    def test_walk_visits_converge_to_stationary(self):
+        """Long uniform walks spend time per vertex proportionally to
+        the stationary distribution — the engine against theory."""
+        graph = uniform_degree_graph(30, 4, seed=1, undirected=True)
+        config = WalkConfig(num_walkers=200, max_steps=200, record_paths=True, seed=2)
+        result = WalkEngine(graph, UniformWalk(), config).run()
+        empirical = visit_counts(result.paths, 30).astype(float)
+        empirical /= empirical.sum()
+        exact = stationary_distribution(graph)
+        assert np.abs(empirical - exact).max() < 0.01
+
+
+class TestClusteringEstimate:
+    def test_complete_graph_is_fully_clustered(self):
+        graph = complete_graph(8)
+        estimate = estimate_clustering_coefficient(graph, 500, seed=0)
+        assert estimate == 1.0
+
+    def test_triangle_free_graph(self):
+        # A 4-cycle has wedges but no triangles.
+        graph = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)], undirected=True)
+        estimate = estimate_clustering_coefficient(graph, 500, seed=1)
+        assert estimate == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        graph = uniform_degree_graph(60, 6, seed=3, undirected=True)
+        sources = np.repeat(np.arange(60), graph.out_degrees())
+        nx_graph = nx.Graph()
+        nx_graph.add_edges_from(zip(sources.tolist(), graph.targets.tolist()))
+        exact = nx.transitivity(nx_graph)
+        estimate = estimate_clustering_coefficient(graph, 20_000, seed=4)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_no_wedges(self):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ReproError):
+            estimate_clustering_coefficient(graph, 10)

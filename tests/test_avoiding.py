@@ -1,0 +1,154 @@
+"""Tests for the windowed self-avoiding walk and walker history."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import NonBacktrackingWalk, WindowedSelfAvoidingWalk
+from repro.cluster import DistributedWalkEngine
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.core.snapshot import restore_checkpoint, save_checkpoint
+from repro.core.walker import NO_VERTEX, WalkerSet
+from repro.errors import ProgramError
+from repro.graph.builder import from_edges
+from repro.graph.generators import ring_graph, uniform_degree_graph
+
+
+@pytest.fixture
+def graph():
+    return uniform_degree_graph(150, 6, seed=0, undirected=True)
+
+
+class TestWalkerHistory:
+    def test_history_shifts_on_move(self):
+        walkers = WalkerSet(np.array([5]), history_depth=3)
+        assert walkers.history.shape == (1, 3)
+        assert np.all(walkers.history == NO_VERTEX)
+        walkers.move(np.array([0]), np.array([6]))
+        walkers.move(np.array([0]), np.array([7]))
+        walkers.move(np.array([0]), np.array([8]))
+        walkers.move(np.array([0]), np.array([9]))
+        # Most recent first: came from 8, before that 7, before that 6.
+        assert walkers.history[0].tolist() == [8, 7, 6]
+        assert walkers.previous[0] == 8
+
+    def test_depth_one_has_no_history_matrix(self):
+        walkers = WalkerSet(np.array([1]), history_depth=1)
+        assert walkers.history is None
+        assert walkers.recent_vertices(0).tolist() == [NO_VERTEX]
+
+    def test_invalid_depth(self):
+        with pytest.raises(ProgramError):
+            WalkerSet(np.array([0]), history_depth=0)
+
+    def test_view_recent(self):
+        walkers = WalkerSet(np.array([3]), history_depth=2)
+        walkers.move(np.array([0]), np.array([4]))
+        view = walkers.view(0)
+        assert view.recent.tolist() == [3, NO_VERTEX]
+
+
+class TestWindowedSelfAvoiding:
+    def test_invalid_window(self):
+        with pytest.raises(ProgramError):
+            WindowedSelfAvoidingWalk(window=0)
+
+    def test_window_respected_in_paths(self, graph):
+        window = 3
+        config = WalkConfig(num_walkers=200, max_steps=25, record_paths=True, seed=1)
+        result = WalkEngine(
+            graph, WindowedSelfAvoidingWalk(window=window), config
+        ).run()
+        for path in result.paths:
+            for position in range(1, len(path)):
+                forbidden = path[max(0, position - 1 - window) : position]
+                # The vertex moved to must not be among the window of
+                # stops preceding the move's source.
+                assert path[position] not in forbidden[:-1] or window == 0
+
+    def test_no_revisit_within_window_strict(self, graph):
+        """Direct check: v_t differs from v_{t-2} .. v_{t-1-window}."""
+        window = 2
+        config = WalkConfig(num_walkers=150, max_steps=20, record_paths=True, seed=2)
+        result = WalkEngine(
+            graph, WindowedSelfAvoidingWalk(window=window), config
+        ).run()
+        for path in result.paths:
+            for position in range(len(path)):
+                lookback = path[max(0, position - window) : position]
+                assert path[position] not in lookback
+
+    def test_window_one_equals_nonbacktracking_law(self):
+        graph = uniform_degree_graph(60, 5, seed=3, undirected=True)
+        config = WalkConfig(
+            num_walkers=4000,
+            max_steps=2,
+            record_paths=True,
+            seed=4,
+            start_vertices=np.zeros(4000, dtype=np.int64),
+        )
+        avoiding = WalkEngine(
+            graph, WindowedSelfAvoidingWalk(window=1, biased=False), config
+        ).run()
+        nonback = WalkEngine(
+            graph, NonBacktrackingWalk(biased=False), config
+        ).run()
+        a = np.bincount([int(p[-1]) for p in avoiding.paths], minlength=60)
+        b = np.bincount([int(p[-1]) for p in nonback.paths], minlength=60)
+        assert np.abs(a / 4000 - b / 4000).max() < 0.04
+
+    def test_dead_end_on_exhausted_neighbourhood(self):
+        # Path graph 0-1-2: from 2 with window 2 there is nowhere to go.
+        graph = from_edges(3, [(0, 1), (1, 2)], undirected=True)
+        config = WalkConfig(
+            num_walkers=1,
+            max_steps=10,
+            record_paths=True,
+            start_vertices=np.array([0]),
+        )
+        result = WalkEngine(
+            graph, WindowedSelfAvoidingWalk(window=2), config
+        ).run()
+        assert result.paths[0].tolist() == [0, 1, 2]
+        assert result.stats.termination.by_dead_end == 1
+
+    def test_ring_full_loop(self):
+        # On a cycle, a window-2 avoider must march around the ring.
+        graph = ring_graph(10, undirected=True)
+        config = WalkConfig(
+            num_walkers=50,
+            max_steps=9,
+            record_paths=True,
+            seed=5,
+            start_vertices=np.zeros(50, dtype=np.int64),
+        )
+        result = WalkEngine(
+            graph, WindowedSelfAvoidingWalk(window=2), config
+        ).run()
+        for path in result.paths:
+            assert len(set(path.tolist())) == len(path)  # no revisits at all
+
+    def test_distributed_execution(self, graph):
+        config = WalkConfig(num_walkers=60, max_steps=12, record_paths=True, seed=6)
+        result = DistributedWalkEngine(
+            graph, WindowedSelfAvoidingWalk(window=3), config, num_nodes=4
+        ).run()
+        for path in result.paths:
+            for position in range(len(path)):
+                lookback = path[max(0, position - 3) : position]
+                assert path[position] not in lookback
+
+    def test_checkpoint_preserves_history(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=30, max_steps=15, seed=7)
+        program = WindowedSelfAvoidingWalk(window=3)
+        engine = WalkEngine(graph, program, config)
+        engine.run(max_iterations=5)
+        history_before = engine.walkers.history.copy()
+        checkpoint = tmp_path / "avoid.npz"
+        save_checkpoint(engine, checkpoint)
+        resumed = restore_checkpoint(
+            graph, WindowedSelfAvoidingWalk(window=3), config, checkpoint
+        )
+        np.testing.assert_array_equal(resumed.walkers.history, history_before)
+        result = resumed.run()
+        assert result.walkers.num_active == 0

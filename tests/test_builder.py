@@ -1,0 +1,200 @@
+"""Unit tests for graph builders and weight assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.builder import (
+    GraphBuilder,
+    WEIGHT_HIGH,
+    WEIGHT_LOW,
+    assign_power_law_weights,
+    assign_random_weights,
+    from_arrays,
+    from_edges,
+)
+from repro.graph.generators import uniform_degree_graph
+
+
+class TestGraphBuilder:
+    def test_directed_build(self):
+        graph = (
+            GraphBuilder(3)
+            .add_edge(0, 1)
+            .add_edge(0, 2, weight=2.0)
+            .add_edge(2, 1)
+            .build()
+        )
+        assert graph.num_edges == 3
+        assert graph.is_weighted  # any explicit weight makes it weighted
+        assert graph.weight_of_edge(graph.edge_index(0, 2)) == 2.0
+        assert graph.weight_of_edge(graph.edge_index(0, 1)) == 1.0
+
+    def test_undirected_doubling(self):
+        builder = GraphBuilder(3, undirected=True)
+        builder.add_edge(0, 1, weight=3.0)
+        assert builder.num_added_edges == 1
+        graph = builder.build()
+        assert graph.num_edges == 2
+        assert graph.is_undirected
+        assert graph.weight_of_edge(graph.edge_index(1, 0)) == 3.0
+        graph.validate()
+
+    def test_edge_types(self):
+        graph = GraphBuilder(2).add_edge(0, 1, edge_type=4).build()
+        assert graph.is_heterogeneous
+        assert graph.edge_types_of(0).tolist() == [4]
+
+    def test_vertex_types(self):
+        graph = (
+            GraphBuilder(2).add_edge(0, 1).set_vertex_types([1, 0]).build()
+        )
+        assert graph.vertex_types.tolist() == [1, 0]
+
+    def test_vertex_types_wrong_size(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).set_vertex_types([1])
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(0, 2)
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(-1, 0)
+
+    def test_negative_weight(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(2).add_edge(0, 1, weight=-0.5)
+
+    def test_zero_vertices(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(0)
+
+    def test_add_edges_tuples(self):
+        graph = GraphBuilder(3).add_edges([(0, 1), (1, 2, 2.5)]).build()
+        assert graph.num_edges == 2
+        assert graph.weight_of_edge(graph.edge_index(1, 2)) == 2.5
+
+    def test_add_edges_bad_tuple(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(3).add_edges([(0, 1, 2.0, 3)])
+
+
+class TestFromArrays:
+    def test_matches_builder(self):
+        edges = [(0, 2), (2, 1), (0, 1), (1, 0)]
+        via_builder = from_edges(3, edges)
+        via_arrays = from_arrays(
+            3,
+            np.array([e[0] for e in edges]),
+            np.array([e[1] for e in edges]),
+        )
+        assert via_builder == via_arrays
+
+    def test_undirected_matches_builder(self):
+        builder = GraphBuilder(4, undirected=True)
+        for u, v, w in [(0, 1, 2.0), (1, 3, 5.0)]:
+            builder.add_edge(u, v, weight=w)
+        via_arrays = from_arrays(
+            4,
+            np.array([0, 1]),
+            np.array([1, 3]),
+            weights=np.array([2.0, 5.0]),
+            undirected=True,
+        )
+        assert builder.build() == via_arrays
+
+    def test_endpoint_validation(self):
+        with pytest.raises(GraphError):
+            from_arrays(2, np.array([0]), np.array([2]))
+
+    def test_misaligned_weights(self):
+        with pytest.raises(GraphError):
+            from_arrays(
+                2, np.array([0]), np.array([1]), weights=np.array([1.0, 2.0])
+            )
+
+    def test_misaligned_arrays(self):
+        with pytest.raises(GraphError):
+            from_arrays(2, np.array([0, 1]), np.array([1]))
+
+
+class TestRandomWeights:
+    def test_range(self):
+        graph = uniform_degree_graph(50, 4, seed=0)
+        weighted = assign_random_weights(graph, seed=1)
+        assert weighted.is_weighted
+        assert weighted.weights.min() >= WEIGHT_LOW
+        assert weighted.weights.max() < WEIGHT_HIGH
+
+    def test_undirected_mirroring(self):
+        graph = uniform_degree_graph(50, 4, seed=0, undirected=True)
+        weighted = assign_random_weights(graph, seed=1)
+        for vertex in range(weighted.num_vertices):
+            start, end = weighted.edge_range(vertex)
+            for index in range(start, end):
+                target = int(weighted.targets[index])
+                reverse = weighted.edge_index(target, vertex)
+                assert weighted.weights[index] == pytest.approx(
+                    weighted.weights[reverse]
+                )
+
+    def test_deterministic(self):
+        graph = uniform_degree_graph(30, 3, seed=0)
+        first = assign_random_weights(graph, seed=7)
+        second = assign_random_weights(graph, seed=7)
+        np.testing.assert_array_equal(first.weights, second.weights)
+        third = assign_random_weights(graph, seed=8)
+        assert not np.array_equal(first.weights, third.weights)
+
+    def test_structure_preserved(self):
+        graph = uniform_degree_graph(30, 3, seed=0, undirected=True)
+        weighted = assign_random_weights(graph, seed=1)
+        np.testing.assert_array_equal(graph.offsets, weighted.offsets)
+        np.testing.assert_array_equal(graph.targets, weighted.targets)
+        assert weighted.is_undirected
+
+
+class TestPowerLawWeights:
+    def test_range_and_mirroring(self):
+        graph = uniform_degree_graph(40, 4, seed=2, undirected=True)
+        weighted = assign_power_law_weights(graph, seed=3, max_weight=16.0)
+        assert weighted.weights.min() >= 1.0
+        assert weighted.weights.max() <= 16.0
+        target = int(weighted.targets[0])
+        reverse = weighted.edge_index(target, 0)
+        assert weighted.weights[0] == pytest.approx(weighted.weights[reverse])
+
+    def test_heavier_tail_than_uniform(self):
+        graph = uniform_degree_graph(200, 8, seed=2)
+        power = assign_power_law_weights(
+            graph, seed=3, max_weight=32.0, exponent=2.0
+        )
+        # Power-law weights concentrate near the minimum.
+        assert np.median(power.weights) < 4.0
+
+    def test_exponent_one_special_case(self):
+        graph = uniform_degree_graph(40, 4, seed=2)
+        weighted = assign_power_law_weights(
+            graph, seed=3, max_weight=8.0, exponent=1.0
+        )
+        assert weighted.weights.min() >= 1.0
+        assert weighted.weights.max() <= 8.0
+
+    def test_invalid_bounds(self):
+        graph = uniform_degree_graph(10, 2, seed=0)
+        with pytest.raises(GraphError):
+            assign_power_law_weights(graph, seed=0, max_weight=0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_weight_assignment_mirrors_for_any_seed(seed):
+    graph = uniform_degree_graph(20, 3, seed=1, undirected=True)
+    weighted = assign_random_weights(graph, seed=seed)
+    index = graph.num_edges // 2
+    sources = np.repeat(np.arange(20), graph.out_degrees())
+    source, target = int(sources[index]), int(weighted.targets[index])
+    reverse = weighted.edge_index(target, source)
+    assert weighted.weights[index] == pytest.approx(weighted.weights[reverse])

@@ -1,0 +1,140 @@
+"""Tests for the cluster simulator: network, scheduler, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cost_model import CostModel, NodeWork
+from repro.cluster.network import MessageKind, Network
+from repro.cluster.scheduler import (
+    LIGHT_MODE_THREADS,
+    LIGHT_MODE_THRESHOLD,
+    ThreadPolicy,
+)
+from repro.errors import ClusterError
+
+
+class TestNetwork:
+    def test_record_batch_counts_remote_only_in_matrix(self):
+        network = Network(3)
+        crossed = network.record_batch(
+            MessageKind.WALKER_MIGRATE,
+            np.array([0, 1, 2, 0]),
+            np.array([1, 1, 0, 2]),
+        )
+        assert crossed == 3  # one message was 1 -> 1 (local)
+        matrix = network.matrix(MessageKind.WALKER_MIGRATE)
+        assert matrix[0, 1] == 1
+        assert matrix[2, 0] == 1
+        assert matrix[0, 2] == 1
+        assert network.local_deliveries(MessageKind.WALKER_MIGRATE) == 1
+
+    def test_total_bytes(self):
+        network = Network(2)
+        network.record_batch(
+            MessageKind.STATE_QUERY, np.array([0]), np.array([1])
+        )
+        network.record_batch(
+            MessageKind.QUERY_RESPONSE, np.array([1]), np.array([0])
+        )
+        expected = (
+            MessageKind.STATE_QUERY.bytes_per_message
+            + MessageKind.QUERY_RESPONSE.bytes_per_message
+        )
+        assert network.total_bytes() == expected
+
+    def test_scatter_messages(self):
+        network = Network(4)
+        total = network.record_scatter(
+            MessageKind.WALKER_MIGRATE, np.array([0, 1]), np.array([3, 2])
+        )
+        assert total == 5
+        assert network.total_messages() == 5
+        assert network.sent_by_node().tolist() == [3, 2, 0, 0]
+        # Scatters are sender-only: the pairwise matrix stays empty.
+        assert network.matrix().sum() == 0
+
+    def test_sent_received_by_node(self):
+        network = Network(2)
+        network.record_batch(
+            MessageKind.STATE_QUERY, np.array([0, 0]), np.array([1, 1])
+        )
+        assert network.sent_by_node().tolist() == [2, 0]
+        assert network.received_by_node().tolist() == [0, 2]
+
+    def test_errors(self):
+        with pytest.raises(ClusterError):
+            Network(0)
+        network = Network(2)
+        with pytest.raises(ClusterError):
+            network.record_batch(
+                MessageKind.STATE_QUERY, np.array([0]), np.array([0, 1])
+            )
+        with pytest.raises(ClusterError):
+            network.record_scatter(
+                MessageKind.STATE_QUERY, np.array([0]), np.array([-1])
+            )
+
+
+class TestThreadPolicy:
+    def test_paper_defaults(self):
+        policy = ThreadPolicy()
+        assert policy.threads_for(LIGHT_MODE_THRESHOLD) == 18
+        assert policy.threads_for(LIGHT_MODE_THRESHOLD - 1) == LIGHT_MODE_THREADS
+        assert policy.threads_for(0) == LIGHT_MODE_THREADS
+
+    def test_light_mode_disabled(self):
+        policy = ThreadPolicy(light_mode=False)
+        assert policy.threads_for(0) == 18
+
+    def test_custom_threshold(self):
+        policy = ThreadPolicy(threshold=10)
+        assert policy.threads_for(10) == 18
+        assert policy.threads_for(9) == 3
+
+    def test_errors(self):
+        with pytest.raises(ClusterError):
+            ThreadPolicy(full_threads=2)
+        with pytest.raises(ClusterError):
+            ThreadPolicy(threshold=-1)
+
+
+class TestCostModel:
+    def test_node_time_components(self):
+        model = CostModel(
+            trial_cost=1.0,
+            pd_cost=10.0,
+            message_cost=100.0,
+            thread_overhead=0.5,
+            barrier_cost=0.25,
+            comm_threads=2,
+        )
+        work = NodeWork(trials=4, pd_evaluations=2, messages=6)
+        # threads=4 -> 2 compute threads: (4*1 + 2*10)/2 + 6*100/2
+        expected = 4 * 0.5 + 0.25 + (4 + 20) / 2 + 600 / 2
+        assert model.node_time(work, threads=4) == pytest.approx(expected)
+
+    def test_more_threads_speed_up_compute(self):
+        model = CostModel()
+        work = NodeWork(trials=100_000, pd_evaluations=100_000, messages=0)
+        assert model.node_time(work, 18) < model.node_time(work, 3)
+
+    def test_few_walkers_favor_light_mode(self):
+        model = CostModel()
+        idle = NodeWork(trials=10, pd_evaluations=5, messages=5)
+        assert model.node_time(idle, 3) < model.node_time(idle, 18)
+
+    def test_superstep_is_max_over_nodes(self):
+        model = CostModel()
+        light = NodeWork(trials=1, pd_evaluations=0, messages=0)
+        heavy = NodeWork(trials=1_000_000, pd_evaluations=0, messages=0)
+        superstep = model.superstep_time([light, heavy], [18, 18])
+        assert superstep == pytest.approx(model.node_time(heavy, 18))
+
+    def test_node_work_merge(self):
+        merged = NodeWork(trials=1, pd_evaluations=2, messages=3, active_walkers=4).merged(
+            NodeWork(trials=10, pd_evaluations=20, messages=30, active_walkers=2)
+        )
+        assert merged.trials == 11
+        assert merged.pd_evaluations == 22
+        assert merged.messages == 33
+        assert merged.active_walkers == 4

@@ -1,0 +1,96 @@
+"""Tests for the dataset stand-ins (Table 2 substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.datasets import (
+    DATASETS,
+    friendster_like,
+    livejournal_like,
+    load_dataset,
+    twitter_like,
+    ukunion_like,
+)
+
+
+def overhead_ratio(graph):
+    """Visit-weighted scan cost over mean degree: Sum(d^2)/Sum(d)/mean.
+
+    This is the quantity Table 1 turns on — the expected full-scan cost
+    per step of a degree-proportional walk, relative to the mean.
+    """
+    degrees = graph.out_degrees().astype(float)
+    return (degrees**2).sum() / degrees.sum() / degrees.mean()
+
+
+class TestProfiles:
+    def test_all_are_undirected(self):
+        for name in DATASETS:
+            graph = load_dataset(name, scale=0.1)
+            assert graph.is_undirected
+
+    def test_skew_ordering_matches_table2(self):
+        """Twitter/UK-Union far more skewed than LiveJournal/Friendster."""
+        ratios = {
+            "livejournal": overhead_ratio(livejournal_like(scale=0.5)),
+            "friendster": overhead_ratio(friendster_like(scale=0.5)),
+            "twitter": overhead_ratio(twitter_like(scale=0.5)),
+            "ukunion": overhead_ratio(ukunion_like(scale=0.5)),
+        }
+        assert ratios["livejournal"] < ratios["friendster"]
+        assert ratios["friendster"] < ratios["ukunion"]
+        assert ratios["friendster"] < ratios["twitter"]
+        assert ratios["twitter"] > 5 * ratios["friendster"]
+
+    def test_size_ordering(self):
+        """UK-Union is the biggest graph, LiveJournal the smallest."""
+        sizes = {
+            name: load_dataset(name, scale=0.2).num_vertices
+            for name in DATASETS
+        }
+        assert sizes["livejournal"] < sizes["ukunion"]
+        assert sizes["friendster"] < sizes["ukunion"]
+
+    def test_twitter_has_celebrity_hubs(self):
+        graph = twitter_like(scale=0.5)
+        assert graph.max_out_degree() > graph.num_vertices // 4
+
+    def test_scale_knob(self):
+        small = friendster_like(scale=0.1)
+        large = friendster_like(scale=0.3)
+        assert large.num_vertices == pytest.approx(
+            3 * small.num_vertices, rel=0.01
+        )
+
+    def test_scale_too_small(self):
+        with pytest.raises(GraphError):
+            livejournal_like(scale=1e-4)
+
+
+class TestLoading:
+    def test_weighted_variant(self):
+        graph = load_dataset("twitter", scale=0.1, weighted=True)
+        assert graph.is_weighted
+        assert graph.weights.min() >= 1.0
+        assert graph.weights.max() < 5.0
+
+    def test_case_insensitive(self):
+        assert load_dataset("LiveJournal", scale=0.1) == load_dataset(
+            "livejournal", scale=0.1
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError):
+            load_dataset("orkut")
+
+    def test_deterministic(self):
+        assert twitter_like(scale=0.1) == twitter_like(scale=0.1)
+        assert twitter_like(scale=0.1, seed=1) != twitter_like(
+            scale=0.1, seed=2
+        )
+
+    def test_custom_seed_passthrough(self):
+        custom = load_dataset("friendster", scale=0.1, seed=99)
+        default = load_dataset("friendster", scale=0.1)
+        assert custom != default

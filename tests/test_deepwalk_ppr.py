@@ -1,0 +1,152 @@
+"""Tests for the static algorithms: DeepWalk and PPR."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    DEFAULT_TERMINATION,
+    DeepWalk,
+    PPR,
+    build_corpus,
+    deepwalk_config,
+    estimate_ppr,
+    ppr_config,
+)
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.graph.builder import assign_random_weights, from_edges
+from repro.graph.generators import uniform_degree_graph
+
+from tests.helpers import two_triangle_graph
+
+
+@pytest.fixture
+def graph():
+    return uniform_degree_graph(120, 5, seed=0, undirected=True)
+
+
+class TestDeepWalk:
+    def test_config_defaults(self):
+        config = deepwalk_config()
+        assert config.max_steps == 80
+        assert config.termination_probability == 0.0
+
+    def test_corpus_shapes(self, graph):
+        config = deepwalk_config(num_walkers=30, walk_length=12, record_paths=True)
+        result = WalkEngine(graph, DeepWalk(), config).run()
+        corpus = build_corpus(result)
+        assert len(corpus) == 30
+        assert all(len(sentence) == 13 for sentence in corpus)
+
+    def test_weighted_bias_on_graph_weights(self):
+        graph = from_edges(3, [(0, 1, 1.0), (0, 2, 4.0)])
+        config = WalkConfig(
+            num_walkers=6000,
+            max_steps=1,
+            record_paths=True,
+            start_vertices=np.zeros(6000, dtype=np.int64),
+        )
+        result = WalkEngine(graph, DeepWalk(), config).run()
+        finals = np.array([p[-1] for p in result.paths])
+        assert (finals == 2).sum() / (finals == 1).sum() == pytest.approx(
+            4.0, rel=0.2
+        )
+
+    def test_every_walker_finishes_full_length(self, graph):
+        config = deepwalk_config(num_walkers=50, walk_length=20)
+        result = WalkEngine(graph, DeepWalk(), config).run()
+        assert np.all(result.walk_lengths == 20)
+
+
+class TestPPRConfig:
+    def test_defaults(self):
+        config = ppr_config()
+        assert config.max_steps is None
+        assert config.termination_probability == DEFAULT_TERMINATION
+
+    def test_expected_length_matches_termination(self, graph):
+        config = ppr_config(num_walkers=4000, seed=1)
+        result = WalkEngine(graph, PPR(), config).run()
+        # Pt = 1/80 -> expected 79 moves (coin before each move).
+        assert result.walk_lengths.mean() == pytest.approx(79.0, rel=0.08)
+
+    def test_length_distribution_has_long_tail(self, graph):
+        config = ppr_config(num_walkers=4000, seed=2)
+        result = WalkEngine(graph, PPR(), config).run()
+        lengths = result.walk_lengths
+        # Geometric: some walks far beyond the mean (paper: >1000 seen).
+        assert lengths.max() > 3 * lengths.mean()
+
+    def test_max_steps_cap_possible(self, graph):
+        config = ppr_config(num_walkers=100, max_steps=10, seed=3)
+        result = WalkEngine(graph, PPR(), config).run()
+        assert result.walk_lengths.max() <= 10
+
+
+class TestPPREstimation:
+    def test_estimate_is_probability_vector(self):
+        graph = two_triangle_graph()
+        config = WalkConfig(
+            num_walkers=2000,
+            max_steps=None,
+            termination_probability=0.2,
+            record_paths=True,
+            seed=4,
+            start_vertices=np.zeros(2000, dtype=np.int64),
+        )
+        result = WalkEngine(graph, PPR(), config).run()
+        estimate = estimate_ppr(result, source=0, num_vertices=5)
+        assert estimate.sum() == pytest.approx(1.0)
+        assert np.all(estimate >= 0)
+
+    def test_estimate_matches_power_iteration(self):
+        """Monte-Carlo PPR tracks the exact personalized PageRank."""
+        graph = two_triangle_graph()
+        alpha = 0.2  # termination probability = teleport probability
+
+        # Exact PPR via power iteration on the visit distribution of
+        # the same process: start at 0, each step continue w.p. 1-alpha.
+        transition = np.zeros((5, 5))
+        for vertex in range(5):
+            neighbors = graph.neighbors(vertex)
+            transition[vertex, neighbors] = 1.0 / neighbors.size
+        # Expected visit counts: sum_k (1-alpha)^k P^k, normalised.
+        visits = np.zeros(5)
+        state = np.zeros(5)
+        state[0] = 1.0
+        for _ in range(400):
+            visits += state
+            state = (1 - alpha) * state @ transition
+        exact = visits / visits.sum()
+
+        config = WalkConfig(
+            num_walkers=20_000,
+            max_steps=None,
+            termination_probability=alpha,
+            record_paths=True,
+            seed=5,
+            start_vertices=np.zeros(20_000, dtype=np.int64),
+        )
+        result = WalkEngine(graph, PPR(), config).run()
+        estimate = estimate_ppr(result, source=0, num_vertices=5)
+        np.testing.assert_allclose(estimate, exact, atol=0.01)
+
+    def test_estimate_requires_paths(self, graph):
+        config = ppr_config(num_walkers=10, termination_probability=0.5)
+        result = WalkEngine(graph, PPR(), config).run()
+        with pytest.raises(ValueError):
+            estimate_ppr(result, 0, graph.num_vertices)
+
+    def test_weighted_ppr_biases_visits(self):
+        graph = from_edges(3, [(0, 1, 9.0), (0, 2, 1.0), (1, 0, 1.0), (2, 0, 1.0)])
+        config = WalkConfig(
+            num_walkers=8000,
+            max_steps=None,
+            termination_probability=0.5,
+            record_paths=True,
+            seed=6,
+            start_vertices=np.zeros(8000, dtype=np.int64),
+        )
+        result = WalkEngine(graph, PPR(), config).run()
+        estimate = estimate_ppr(result, source=0, num_vertices=3)
+        assert estimate[1] > 3 * estimate[2]

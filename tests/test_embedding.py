@@ -1,0 +1,136 @@
+"""Tests for the SGNS embedding substrate and link prediction."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    SkipGramModel,
+    cosine_scores,
+    extract_training_pairs,
+    link_prediction_auc,
+    sample_edge_split,
+)
+from repro.errors import ReproError
+from repro.graph.builder import from_arrays
+
+
+class TestExtractTrainingPairs:
+    def test_matches_generator(self):
+        from repro.analysis import skipgram_pairs
+
+        paths = [np.array([0, 1, 2, 3]), np.array([4, 5])]
+        centers, contexts = extract_training_pairs(paths, window=2)
+        vectorised = sorted(zip(centers.tolist(), contexts.tolist()))
+        generated = sorted(skipgram_pairs(paths, window=2))
+        assert vectorised == generated
+
+    def test_empty_corpus(self):
+        centers, contexts = extract_training_pairs([np.array([7])], window=2)
+        assert centers.size == 0 and contexts.size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ReproError):
+            extract_training_pairs([np.array([0, 1])], window=0)
+
+
+class TestSkipGramModel:
+    def test_construction_validation(self):
+        with pytest.raises(ReproError):
+            SkipGramModel(1, 8)
+        with pytest.raises(ReproError):
+            SkipGramModel(10, 0)
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        # Structured corpus (two vocabularies that never co-occur).
+        paths = [rng.integers(0, 10, size=15) for _ in range(40)]
+        paths += [10 + rng.integers(0, 10, size=15) for _ in range(40)]
+        model = SkipGramModel(20, dimension=16, seed=1)
+        first = model.train(paths, window=2, epochs=1)
+        last = model.train(paths, window=2, epochs=10)
+        assert last < first
+
+    def test_empty_corpus_rejected(self):
+        model = SkipGramModel(5, dimension=4)
+        with pytest.raises(ReproError):
+            model.train([np.array([0])], window=2)
+
+    def test_cooccurring_vertices_become_similar(self):
+        """Two disjoint cliques of walks: within-clique similarity must
+        exceed cross-clique similarity after training."""
+        rng = np.random.default_rng(2)
+        paths = []
+        for _ in range(150):
+            paths.append(rng.integers(0, 5, size=12))  # community A: 0-4
+            paths.append(rng.integers(5, 10, size=12))  # community B: 5-9
+        model = SkipGramModel(10, dimension=12, seed=3)
+        model.train(paths, window=3, epochs=8, learning_rate=0.05)
+        within = model.similarity(0, 1)
+        across = model.similarity(0, 7)
+        assert within > across
+
+    def test_most_similar_excludes_self(self):
+        model = SkipGramModel(6, dimension=4, seed=4)
+        neighbours = model.most_similar(2, top_k=3)
+        assert len(neighbours) == 3
+        assert all(v != 2 for v, _score in neighbours)
+
+
+class TestLinkPrediction:
+    def test_cosine_scores_shape(self):
+        embeddings = np.eye(4)
+        pairs = np.array([[0, 0], [0, 1]])
+        scores = cosine_scores(embeddings, pairs)
+        assert scores.tolist() == [1.0, 0.0]
+
+    def test_auc_perfect_separation(self):
+        embeddings = np.array([[1.0, 0.0], [1.0, 0.1], [-1.0, 0.0], [0.0, 1.0]])
+        positives = np.array([[0, 1]])  # similar pair
+        negatives = np.array([[0, 2]])  # opposite pair
+        assert link_prediction_auc(embeddings, positives, negatives) == 1.0
+
+    def test_auc_requires_pairs(self):
+        with pytest.raises(ReproError):
+            link_prediction_auc(np.eye(3), np.zeros((0, 2)), np.array([[0, 1]]))
+
+    def test_sample_edge_split(self):
+        graph = from_arrays(
+            20,
+            np.arange(19, dtype=np.int64),
+            np.arange(1, 20, dtype=np.int64),
+            undirected=True,
+        )
+        positives, negatives = sample_edge_split(graph, 15, seed=5)
+        assert positives.shape == negatives.shape == (15, 2)
+        for u, v in positives:
+            assert graph.has_edge(int(u), int(v))
+        for u, v in negatives:
+            assert not graph.has_edge(int(u), int(v))
+
+    def test_end_to_end_walks_to_auc(self):
+        """Walks on a community graph produce embeddings whose link
+        prediction beats coin flipping."""
+        from repro.algorithms import DeepWalk
+        from repro.core.config import WalkConfig
+        from repro.core.engine import WalkEngine
+
+        rng = np.random.default_rng(6)
+        # Two communities of 15, sparse cross links.
+        sources, targets = [], []
+        for vertex in range(30):
+            base = 0 if vertex < 15 else 15
+            for _ in range(4):
+                sources.append(vertex)
+                targets.append(base + int(rng.integers(0, 15)))
+        graph = from_arrays(
+            30, np.asarray(sources), np.asarray(targets), undirected=True
+        )
+        config = WalkConfig(
+            num_walkers=300, max_steps=15, record_paths=True, seed=7
+        )
+        result = WalkEngine(graph, DeepWalk(), config).run()
+        model = SkipGramModel(30, dimension=16, seed=8)
+        model.train(result.paths, window=3, epochs=20)
+        positives, negatives = sample_edge_split(graph, 60, seed=9)
+        auc = link_prediction_auc(model.embeddings, positives, negatives)
+        assert auc > 0.75

@@ -1,0 +1,68 @@
+"""Smoke tests: the example applications must keep running.
+
+Only the fast examples execute here (the embedding pipeline and the
+distributed comparison take tens of seconds and are exercised manually
+/ by the benchmarks); each runs in a subprocess exactly as a user
+would, and its printed claims are sanity-checked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "walk finished" in output
+    assert "->" in output  # printed walk sequences
+
+
+def test_metapath_citations():
+    output = run_example("metapath_citations.py")
+    assert "authors most cited" in output
+
+
+def test_custom_walk():
+    output = run_example("custom_walk.py")
+    assert "hub-averse" in output
+    # The example's claim: the bias lowers the visited mean degree.
+    lines = [
+        line for line in output.splitlines() if "mean degree of visited" in line
+    ]
+    plain = float(lines[0].split()[-1])
+    averse = float(lines[1].split()[-1])
+    assert averse < plain
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "node2vec_corpus.py",
+        "ppr_recommendations.py",
+        "metapath_citations.py",
+        "custom_walk.py",
+        "embedding_pipeline.py",
+        "distributed_simulation.py",
+    ],
+)
+def test_example_files_are_importable(name):
+    """Every example at least parses and has a main()."""
+    source = (EXAMPLES_DIR / name).read_text()
+    compiled = compile(source, name, "exec")
+    assert "main" in compiled.co_names

@@ -1,0 +1,132 @@
+"""Tests for the full-scan baseline engine and its sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DeepWalk, MetaPathWalk, Node2Vec, UniformWalk
+from repro.baselines.full_scan import (
+    FullScanWalkEngine,
+    gather_out_edges,
+    segmented_sample,
+)
+from repro.core.config import WalkConfig
+from repro.graph.builder import from_edges
+from repro.graph.generators import uniform_degree_graph
+from repro.graph.hetero import assign_random_edge_types
+
+from tests.helpers import assert_matches_distribution, diamond_graph
+
+
+class TestGatherOutEdges:
+    def test_structure(self):
+        graph = diamond_graph()
+        vertices = np.array([1, 0, 3])
+        edges, segments, offsets = gather_out_edges(graph, vertices)
+        assert edges.size == 3 + 2 + 2
+        assert offsets.tolist() == [0, 3, 5, 7]
+        assert segments.tolist() == [0, 0, 0, 1, 1, 2, 2]
+        # Each gathered index lies in its vertex's CSR slice.
+        for lane, vertex in enumerate(vertices):
+            start, end = graph.edge_range(int(vertex))
+            chunk = edges[offsets[lane] : offsets[lane + 1]]
+            assert np.all((chunk >= start) & (chunk < end))
+
+    def test_empty_vertex(self):
+        graph = from_edges(3, [(0, 1)])
+        edges, _segments, offsets = gather_out_edges(graph, np.array([1, 0]))
+        assert offsets.tolist() == [0, 0, 1]
+        assert edges.size == 1
+
+
+class TestSegmentedSample:
+    def test_matches_per_segment_distribution(self):
+        mass = np.array([1.0, 3.0, 2.0, 2.0, 0.0, 5.0])
+        offsets = np.array([0, 2, 6])
+        rng = np.random.default_rng(0)
+        first, second = [], []
+        for _ in range(20_000):
+            choices, totals = segmented_sample(mass, offsets, rng)
+            first.append(choices[0])
+            second.append(choices[1] - 2)
+            assert totals.tolist() == [4.0, 9.0]
+        assert_matches_distribution(first, mass[:2])
+        assert_matches_distribution(second, mass[2:])
+
+    def test_zero_segment(self):
+        mass = np.array([0.0, 0.0, 1.0])
+        offsets = np.array([0, 2, 3])
+        rng = np.random.default_rng(1)
+        choices, totals = segmented_sample(mass, offsets, rng)
+        assert choices[0] == -1
+        assert choices[1] == 2
+        assert totals[0] == 0.0
+
+    def test_empty_segment(self):
+        mass = np.array([2.0])
+        offsets = np.array([0, 0, 1])
+        rng = np.random.default_rng(2)
+        choices, totals = segmented_sample(mass, offsets, rng)
+        assert choices[0] == -1 and choices[1] == 0
+
+    def test_all_zero(self):
+        rng = np.random.default_rng(3)
+        choices, _ = segmented_sample(np.zeros(3), np.array([0, 3]), rng)
+        assert choices[0] == -1
+
+
+class TestFullScanEngine:
+    def test_counts_every_edge_scanned(self):
+        # Directed uniform graph: every vertex has out-degree exactly 7,
+        # so the scan costs exactly 7 Pd evaluations per step.
+        graph = uniform_degree_graph(50, 7, seed=0)
+        config = WalkConfig(num_walkers=20, max_steps=10)
+        result = FullScanWalkEngine(
+            graph, Node2Vec(p=2, q=0.5, biased=False), config
+        ).run()
+        assert result.stats.pd_evaluations_per_step == pytest.approx(7.0)
+        assert result.stats.total_steps == 200
+
+    def test_static_programs_skip_scanning(self):
+        graph = uniform_degree_graph(50, 4, seed=0)
+        config = WalkConfig(num_walkers=20, max_steps=10)
+        result = FullScanWalkEngine(graph, DeepWalk(), config).run()
+        assert result.stats.counters.pd_evaluations == 0
+
+    def test_paths_are_valid(self):
+        graph = uniform_degree_graph(60, 5, seed=1, undirected=True)
+        config = WalkConfig(num_walkers=20, max_steps=8, record_paths=True)
+        result = FullScanWalkEngine(
+            graph, Node2Vec(p=0.5, q=2.0, biased=False), config
+        ).run()
+        for path in result.paths:
+            for source, target in zip(path[:-1], path[1:]):
+                assert graph.has_edge(int(source), int(target))
+
+    def test_metapath_dead_end(self):
+        graph = assign_random_edge_types(
+            uniform_degree_graph(30, 3, seed=2), 1, seed=3
+        )
+        program = MetaPathWalk([[7]])  # type 7 never exists
+        config = WalkConfig(num_walkers=10, max_steps=5)
+        result = FullScanWalkEngine(graph, program, config).run()
+        assert result.stats.termination.by_dead_end == 10
+
+    def test_uniform_walk_matches_rejection_engine(self):
+        from repro.core.engine import WalkEngine
+
+        graph = diamond_graph()
+        histograms = {}
+        for engine_cls in (FullScanWalkEngine, WalkEngine):
+            config = WalkConfig(
+                num_walkers=10_000,
+                max_steps=1,
+                record_paths=True,
+                seed=4,
+                start_vertices=np.full(10_000, 1, dtype=np.int64),
+            )
+            result = engine_cls(graph, UniformWalk(), config).run()
+            finals = [int(p[-1]) for p in result.paths]
+            histograms[engine_cls] = np.bincount(finals, minlength=4)
+        a = histograms[FullScanWalkEngine]
+        b = histograms[WalkEngine]
+        assert np.abs(a / 10_000 - b / 10_000).max() < 0.03

@@ -1,0 +1,165 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    hotspot_graph,
+    ring_graph,
+    rmat_graph,
+    sample_truncated_power_law,
+    star_graph,
+    truncated_power_law_graph,
+    uniform_degree_graph,
+)
+
+
+class TestUniformDegree:
+    def test_exact_out_degrees(self):
+        graph = uniform_degree_graph(100, 7, seed=0)
+        assert np.all(graph.out_degrees() == 7)
+
+    def test_no_self_loops(self):
+        graph = uniform_degree_graph(50, 5, seed=1)
+        sources = np.repeat(np.arange(50), graph.out_degrees())
+        assert not np.any(sources == graph.targets)
+
+    def test_undirected_flag(self):
+        graph = uniform_degree_graph(50, 5, seed=1, undirected=True)
+        assert graph.is_undirected
+        graph.validate()
+
+    def test_deterministic(self):
+        assert uniform_degree_graph(30, 3, seed=5) == uniform_degree_graph(
+            30, 3, seed=5
+        )
+        assert uniform_degree_graph(30, 3, seed=5) != uniform_degree_graph(
+            30, 3, seed=6
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            uniform_degree_graph(10, 0, seed=0)
+        with pytest.raises(GraphError):
+            uniform_degree_graph(1, 2, seed=0)
+
+
+class TestTruncatedPowerLaw:
+    def test_sample_bounds(self):
+        rng = np.random.default_rng(0)
+        values = sample_truncated_power_law(rng, 5000, 2.0, 3, 100)
+        assert values.min() >= 3
+        assert values.max() <= 100
+
+    def test_sample_skew(self):
+        rng = np.random.default_rng(0)
+        values = sample_truncated_power_law(rng, 20_000, 2.0, 3, 1000)
+        # Power law: median far below mean.
+        assert np.median(values) < values.mean()
+
+    def test_exponent_one(self):
+        rng = np.random.default_rng(0)
+        values = sample_truncated_power_law(rng, 1000, 1.0, 2, 64)
+        assert values.min() >= 2 and values.max() <= 64
+
+    def test_invalid_bounds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            sample_truncated_power_law(rng, 10, 2.0, 0, 10)
+        with pytest.raises(GraphError):
+            sample_truncated_power_law(rng, 10, 2.0, 5, 4)
+
+    def test_graph_degrees_within_bounds(self):
+        graph = truncated_power_law_graph(500, 2.0, 2, 50, seed=3)
+        degrees = graph.out_degrees()
+        assert degrees.min() >= 2
+        assert degrees.max() <= 50
+
+    def test_higher_truncation_raises_variance(self):
+        low = truncated_power_law_graph(2000, 2.0, 5, 50, seed=3)
+        high = truncated_power_law_graph(2000, 2.0, 5, 1000, seed=3)
+        assert (
+            high.degree_stats().variance > 3 * low.degree_stats().variance
+        )
+
+
+class TestHotspot:
+    def test_hotspot_degrees(self):
+        graph = hotspot_graph(1000, 10, num_hotspots=2, hotspot_degree=300, seed=0)
+        degrees = graph.out_degrees()
+        # The two hotspot vertices are the last ids, degree >= 300.
+        assert degrees[-1] >= 300
+        assert degrees[-2] >= 300
+        # Base vertices stay near base_degree (plus hotspot attachments).
+        assert np.median(degrees[:-2]) <= 12
+
+    def test_hotspots_bidirectional(self):
+        graph = hotspot_graph(200, 5, num_hotspots=1, hotspot_degree=50, seed=1)
+        hotspot = 199
+        # Attachment edges are mirrored; the hotspot's 5 base out-edges
+        # need not be.  Most unique neighbours must link back.
+        neighbours = np.unique(graph.neighbors(hotspot))
+        reciprocal = sum(
+            graph.has_edge(int(target), hotspot) for target in neighbours
+        )
+        assert reciprocal >= neighbours.size - 5
+
+    def test_zero_hotspots(self):
+        graph = hotspot_graph(100, 5, num_hotspots=0, hotspot_degree=10, seed=0)
+        assert np.all(graph.out_degrees() == 5)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            hotspot_graph(10, 2, num_hotspots=-1, hotspot_degree=5, seed=0)
+        with pytest.raises(GraphError):
+            hotspot_graph(10, 2, num_hotspots=10, hotspot_degree=5, seed=0)
+        with pytest.raises(GraphError):
+            hotspot_graph(10, 2, num_hotspots=1, hotspot_degree=0, seed=0)
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi_mean_degree(self):
+        graph = erdos_renyi_graph(1000, 8.0, seed=0)
+        assert graph.degree_stats().mean == pytest.approx(8.0, rel=0.05)
+
+    def test_erdos_renyi_invalid(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 0.0, seed=0)
+
+    def test_rmat_size_and_skew(self):
+        graph = rmat_graph(scale=10, edge_factor=8, seed=0)
+        assert graph.num_vertices == 1024
+        assert graph.num_edges == 1024 * 8
+        stats = graph.degree_stats()
+        assert stats.variance > stats.mean  # heavy-tailed
+
+    def test_rmat_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(scale=4, edge_factor=2, seed=0, a=0.8, b=0.2, c=0.2)
+
+    def test_ring(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert graph.has_edge(4, 0)
+        with pytest.raises(GraphError):
+            ring_graph(1)
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 20
+        assert all(
+            graph.has_edge(u, v) for u in range(5) for v in range(5) if u != v
+        )
+        with pytest.raises(GraphError):
+            complete_graph(1)
+
+    def test_star(self):
+        graph = star_graph(10)
+        assert graph.out_degree(0) == 10
+        assert graph.out_degree(1) == 1
+        graph.validate()
+        with pytest.raises(GraphError):
+            star_graph(0)

@@ -1,0 +1,127 @@
+"""Tests for heterogeneous-graph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import uniform_degree_graph
+from repro.graph.hetero import (
+    BibliographicSchema,
+    assign_random_edge_types,
+    bibliographic_graph,
+)
+
+
+class TestAssignRandomEdgeTypes:
+    def test_types_in_range(self):
+        graph = uniform_degree_graph(80, 4, seed=0)
+        typed = assign_random_edge_types(graph, 5, seed=1)
+        assert typed.is_heterogeneous
+        assert typed.edge_types.min() >= 0
+        assert typed.edge_types.max() < 5
+
+    def test_undirected_type_mirroring(self):
+        graph = uniform_degree_graph(50, 4, seed=0, undirected=True)
+        typed = assign_random_edge_types(graph, 4, seed=2)
+        sources = np.repeat(np.arange(50), typed.out_degrees())
+        for index in range(0, typed.num_edges, 17):
+            source, target = int(sources[index]), int(typed.targets[index])
+            reverse = typed.edge_index(target, source)
+            assert typed.edge_types[index] == typed.edge_types[reverse]
+
+    def test_all_types_used(self):
+        graph = uniform_degree_graph(200, 5, seed=0)
+        typed = assign_random_edge_types(graph, 5, seed=3)
+        assert set(np.unique(typed.edge_types)) == {0, 1, 2, 3, 4}
+
+    def test_structure_preserved(self):
+        graph = uniform_degree_graph(30, 3, seed=0)
+        typed = assign_random_edge_types(graph, 2, seed=4)
+        np.testing.assert_array_equal(graph.offsets, typed.offsets)
+        np.testing.assert_array_equal(graph.targets, typed.targets)
+
+    def test_invalid_type_count(self):
+        graph = uniform_degree_graph(10, 2, seed=0)
+        with pytest.raises(GraphError):
+            assign_random_edge_types(graph, 0, seed=0)
+
+    def test_deterministic(self):
+        graph = uniform_degree_graph(30, 3, seed=0)
+        first = assign_random_edge_types(graph, 3, seed=5)
+        second = assign_random_edge_types(graph, 3, seed=5)
+        np.testing.assert_array_equal(first.edge_types, second.edge_types)
+
+
+class TestBibliographicGraph:
+    def test_vertex_types(self):
+        graph = bibliographic_graph(
+            num_authors=10, num_papers=20, papers_per_author=3,
+            citations_per_paper=2, seed=0,
+        )
+        schema = BibliographicSchema()
+        assert graph.num_vertices == 30
+        assert np.all(graph.vertex_types[:10] == schema.VERTEX_AUTHOR)
+        assert np.all(graph.vertex_types[10:] == schema.VERTEX_PAPER)
+
+    def test_edge_type_semantics(self):
+        graph = bibliographic_graph(
+            num_authors=8, num_papers=15, papers_per_author=2,
+            citations_per_paper=2, seed=1,
+        )
+        schema = BibliographicSchema()
+        sources = np.repeat(np.arange(graph.num_vertices), graph.out_degrees())
+        for index in range(graph.num_edges):
+            source, target = int(sources[index]), int(graph.targets[index])
+            edge_type = int(graph.edge_types[index])
+            if edge_type == schema.EDGE_WRITES:
+                assert source < 8 and target >= 8
+            elif edge_type == schema.EDGE_WRITTEN_BY:
+                assert source >= 8 and target < 8
+            elif edge_type in (schema.EDGE_CITES, schema.EDGE_CITED_BY):
+                assert source >= 8 and target >= 8
+
+    def test_citations_point_backwards(self):
+        graph = bibliographic_graph(
+            num_authors=5, num_papers=30, papers_per_author=2,
+            citations_per_paper=3, seed=2,
+        )
+        schema = BibliographicSchema()
+        sources = np.repeat(np.arange(graph.num_vertices), graph.out_degrees())
+        for index in range(graph.num_edges):
+            if graph.edge_types[index] == schema.EDGE_CITES:
+                assert graph.targets[index] < sources[index]
+
+    def test_metapath_walk_on_bibliographic_graph(self):
+        """The paper's motivating meta-path: author -> paper (writes)
+        -> cited paper -> its author."""
+        from repro.algorithms import MetaPathWalk
+        from repro.core.config import WalkConfig
+        from repro.core.engine import WalkEngine
+
+        graph = bibliographic_graph(
+            num_authors=20, num_papers=60, papers_per_author=4,
+            citations_per_paper=3, seed=3,
+        )
+        schema = BibliographicSchema()
+        scheme = [
+            schema.EDGE_WRITES,
+            schema.EDGE_CITES,
+            schema.EDGE_WRITTEN_BY,
+        ]
+        config = WalkConfig(
+            num_walkers=20,
+            max_steps=6,
+            record_paths=True,
+            start_vertices=np.arange(20, dtype=np.int64),
+        )
+        result = WalkEngine(graph, MetaPathWalk([scheme]), config).run()
+        for path in result.paths:
+            # Every 3rd hop lands back on an author.
+            for position in range(0, len(path), 3):
+                assert graph.vertex_types[path[position]] == schema.VERTEX_AUTHOR
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            bibliographic_graph(0, 10, 1, 1, seed=0)
+        with pytest.raises(GraphError):
+            bibliographic_graph(5, 1, 1, 1, seed=0)

@@ -1,0 +1,113 @@
+"""Unit tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import assign_random_weights, from_edges
+from repro.graph.generators import truncated_power_law_graph
+from repro.graph.hetero import assign_random_edge_types
+from repro.graph.io import (
+    load_binary,
+    load_edge_list,
+    save_binary,
+    save_edge_list,
+)
+
+
+@pytest.fixture
+def graph():
+    return truncated_power_law_graph(60, 2.0, 2, 15, seed=9)
+
+
+class TestEdgeListRoundTrip:
+    def test_plain(self, graph, tmp_path):
+        path = tmp_path / "plain.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        np.testing.assert_array_equal(loaded.offsets, graph.offsets)
+        np.testing.assert_array_equal(loaded.targets, graph.targets)
+
+    def test_weighted(self, graph, tmp_path):
+        weighted = assign_random_weights(graph, seed=1)
+        path = tmp_path / "weighted.txt"
+        save_edge_list(weighted, path)
+        loaded = load_edge_list(path)
+        assert loaded.is_weighted
+        np.testing.assert_allclose(loaded.weights, weighted.weights)
+
+    def test_typed(self, graph, tmp_path):
+        typed = assign_random_edge_types(graph, 3, seed=2)
+        path = tmp_path / "typed.txt"
+        save_edge_list(typed, path)
+        loaded = load_edge_list(path)
+        assert loaded.is_heterogeneous
+        np.testing.assert_array_equal(loaded.edge_types, typed.edge_types)
+
+    def test_vertex_count_header(self, graph, tmp_path):
+        # Isolated trailing vertices survive via the header.
+        padded = from_edges(10, [(0, 1)])
+        path = tmp_path / "padded.txt"
+        save_edge_list(padded, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == 10
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "explicit.txt"
+        path.write_text("0 1\n1 2\n")
+        loaded = load_edge_list(path, num_vertices=7)
+        assert loaded.num_vertices == 7
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 0\n")
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == 2
+
+
+class TestEdgeListErrors:
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2.0 3 4\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("zero one\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_empty_without_count(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+
+class TestBinaryRoundTrip:
+    def test_plain(self, graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_binary(graph, path)
+        assert load_binary(path) == graph
+
+    def test_full_featured(self, graph, tmp_path):
+        rich = assign_random_edge_types(
+            assign_random_weights(graph, seed=1), 4, seed=2
+        )
+        path = tmp_path / "rich.npz"
+        save_binary(rich, path)
+        loaded = load_binary(path)
+        assert loaded == rich
+
+    def test_undirected_flag_preserved(self, tmp_path):
+        graph = from_edges(3, [(0, 1), (1, 2)], undirected=True)
+        path = tmp_path / "undirected.npz"
+        save_binary(graph, path)
+        assert load_binary(path).is_undirected
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, offsets=np.array([0, 1]))
+        with pytest.raises(GraphFormatError):
+            load_binary(path)

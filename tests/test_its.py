@@ -1,0 +1,127 @@
+"""Unit tests for inverse transform sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.builder import from_edges
+from repro.sampling.its import VertexITSTables, its_sample_from_cdf
+
+from tests.helpers import assert_matches_distribution, diamond_graph
+
+
+class TestCDFStructure:
+    def test_per_vertex_prefix_sums(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexITSTables(graph)
+        for vertex in range(graph.num_vertices):
+            cdf = tables.cdf_of(vertex)
+            expected = np.cumsum(graph.edge_weights(vertex))
+            np.testing.assert_allclose(cdf, expected)
+
+    def test_totals(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexITSTables(graph)
+        for vertex in range(graph.num_vertices):
+            assert tables.total_static(vertex) == pytest.approx(
+                graph.total_out_weight(vertex)
+            )
+        np.testing.assert_allclose(
+            tables.totals,
+            [graph.total_out_weight(v) for v in range(4)],
+        )
+
+    def test_empty_vertex(self):
+        graph = from_edges(3, [(0, 1)])
+        tables = VertexITSTables(graph)
+        assert tables.total_static(2) == 0.0
+
+
+class TestSampling:
+    def test_scalar_distribution(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexITSTables(graph)
+        rng = np.random.default_rng(0)
+        start, _ = graph.edge_range(1)
+        samples = [tables.sample(1, rng) - start for _ in range(10_000)]
+        assert_matches_distribution(samples, graph.edge_weights(1))
+
+    def test_batch_distribution(self):
+        graph = diamond_graph(weights=True)
+        tables = VertexITSTables(graph)
+        rng = np.random.default_rng(1)
+        vertices = np.full(30_000, 2, dtype=np.int64)
+        start, _ = graph.edge_range(2)
+        samples = tables.sample_batch(vertices, rng) - start
+        assert_matches_distribution(samples, graph.edge_weights(2))
+
+    def test_batch_mixed_vertices_in_range(self):
+        graph = diamond_graph()
+        tables = VertexITSTables(graph)
+        rng = np.random.default_rng(2)
+        vertices = rng.integers(0, 4, size=5000)
+        edges = tables.sample_batch(vertices, rng)
+        starts = graph.offsets[vertices]
+        ends = graph.offsets[vertices + 1]
+        assert np.all((edges >= starts) & (edges < ends))
+
+    def test_batch_empty_input(self):
+        tables = VertexITSTables(diamond_graph())
+        rng = np.random.default_rng(3)
+        assert tables.sample_batch(np.array([], dtype=np.int64), rng).size == 0
+
+    def test_zero_weight_edge_never_sampled(self):
+        graph = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        tables = VertexITSTables(graph, np.array([1.0, 0.0, 2.0]))
+        rng = np.random.default_rng(4)
+        samples = [tables.sample(0, rng) for _ in range(5000)]
+        assert 1 not in set(samples)  # flat index of the zero edge
+
+    def test_dead_end_errors(self):
+        graph = from_edges(3, [(0, 1)])
+        tables = VertexITSTables(graph)
+        rng = np.random.default_rng(5)
+        with pytest.raises(SamplingError):
+            tables.sample(2, rng)
+        with pytest.raises(SamplingError):
+            tables.sample_batch(np.array([2]), rng)
+
+    def test_misaligned_weights(self):
+        with pytest.raises(SamplingError):
+            VertexITSTables(diamond_graph(), np.ones(2))
+
+    def test_negative_weights(self):
+        graph = from_edges(2, [(0, 1)])
+        with pytest.raises(SamplingError):
+            VertexITSTables(graph, np.array([-2.0]))
+
+
+class TestSampleFromCDF:
+    def test_distribution(self):
+        cdf = np.cumsum([1.0, 4.0, 5.0])
+        rng = np.random.default_rng(6)
+        samples = [its_sample_from_cdf(cdf, rng) for _ in range(20_000)]
+        assert_matches_distribution(samples, np.array([1.0, 4.0, 5.0]))
+
+    def test_zero_total(self):
+        with pytest.raises(SamplingError):
+            its_sample_from_cdf(np.zeros(3), np.random.default_rng(0))
+
+
+def test_its_and_alias_agree():
+    """Both static samplers draw from the same law."""
+    from repro.sampling.alias import VertexAliasTables
+
+    graph = diamond_graph(weights=True)
+    rng_a = np.random.default_rng(7)
+    rng_b = np.random.default_rng(8)
+    alias = VertexAliasTables(graph)
+    its = VertexITSTables(graph)
+    start, _ = graph.edge_range(1)
+    alias_counts = np.bincount(
+        alias.sample_batch(np.full(30_000, 1), rng_a) - start, minlength=3
+    )
+    its_counts = np.bincount(
+        its.sample_batch(np.full(30_000, 1), rng_b) - start, minlength=3
+    )
+    np.testing.assert_allclose(alias_counts, its_counts, rtol=0.1)

@@ -1,0 +1,151 @@
+"""Unit and integration tests for Meta-path walks."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MetaPathWalk, random_schemes
+from repro.algorithms.metapath import SCHEME_STATE
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.core.walker import WalkerSet
+from repro.errors import ProgramError
+from repro.graph.builder import from_edges
+from repro.graph.generators import uniform_degree_graph
+from repro.graph.hetero import assign_random_edge_types
+
+
+@pytest.fixture
+def typed_graph():
+    graph = uniform_degree_graph(150, 6, seed=0, undirected=True)
+    return assign_random_edge_types(graph, 3, seed=1)
+
+
+class TestConstruction:
+    def test_requires_schemes(self):
+        with pytest.raises(ProgramError):
+            MetaPathWalk([])
+        with pytest.raises(ProgramError):
+            MetaPathWalk([[0, 1], []])
+
+    def test_required_type_cycles(self):
+        program = MetaPathWalk([[3, 1, 4]])
+        assert [program.required_type(0, k) for k in range(7)] == [
+            3, 1, 4, 3, 1, 4, 3,
+        ]
+
+    def test_requires_typed_graph(self):
+        graph = uniform_degree_graph(10, 2, seed=0)
+        program = MetaPathWalk([[0]])
+        walkers = WalkerSet(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ProgramError):
+            program.setup_walkers(graph, walkers, np.random.default_rng(0))
+
+    def test_scheme_assignment_uniform(self, typed_graph):
+        program = MetaPathWalk(random_schemes(4, 3, 3, seed=2))
+        walkers = WalkerSet(np.zeros(4000, dtype=np.int64))
+        program.setup_walkers(typed_graph, walkers, np.random.default_rng(3))
+        counts = np.bincount(walkers.state(SCHEME_STATE), minlength=4)
+        assert counts.min() > 800  # roughly uniform over 4 schemes
+
+
+class TestDynamicComponent:
+    def test_scalar_indicator(self, typed_graph):
+        program = MetaPathWalk([[1, 2]])
+        walkers = WalkerSet(np.zeros(1, dtype=np.int64))
+        program.setup_walkers(typed_graph, walkers, np.random.default_rng(0))
+        view = walkers.view(0)
+        start, end = typed_graph.edge_range(0)
+        for edge in range(start, end):
+            expected = 1.0 if typed_graph.edge_types[edge] == 1 else 0.0
+            assert program.edge_dynamic_comp(typed_graph, view, edge) == expected
+
+    def test_batch_matches_scalar(self, typed_graph):
+        program = MetaPathWalk(random_schemes(3, 4, 3, seed=4))
+        walkers = WalkerSet(
+            np.arange(20, dtype=np.int64) % typed_graph.num_vertices
+        )
+        program.setup_walkers(typed_graph, walkers, np.random.default_rng(5))
+        walkers.steps[:] = np.arange(20) % 7  # varied step counters
+        walker_ids = np.arange(20)
+        edges = typed_graph.offsets[walkers.current[walker_ids]]
+        batch = program.batch_dynamic_comp(
+            typed_graph, walkers, walker_ids, edges
+        )
+        scalar = [
+            program.edge_dynamic_comp(
+                typed_graph, walkers.view(int(w)), int(e)
+            )
+            for w, e in zip(walker_ids, edges)
+        ]
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_bounds(self, typed_graph):
+        program = MetaPathWalk([[0]])
+        assert np.all(program.upper_bound_array(typed_graph) == 1.0)
+        assert np.all(program.lower_bound_array(typed_graph) == 0.0)
+
+
+class TestWalkConformance:
+    def test_paths_follow_schemes(self, typed_graph):
+        schemes = random_schemes(5, 4, 3, seed=6)
+        program = MetaPathWalk(schemes)
+        config = WalkConfig(num_walkers=100, max_steps=8, record_paths=True, seed=7)
+        engine = WalkEngine(typed_graph, program, config)
+        result = engine.run()
+        assignments = engine.walkers.state(SCHEME_STATE)
+        for walker_id, path in enumerate(result.paths):
+            scheme = schemes[int(assignments[walker_id])]
+            for step, (source, target) in enumerate(zip(path[:-1], path[1:])):
+                required = scheme[step % len(scheme)]
+                edge = typed_graph.edge_index(int(source), int(target))
+                # Some parallel edge of the right type must exist.
+                start, count = typed_graph.edge_span_batch(
+                    np.array([source]), np.array([target])
+                )
+                types = typed_graph.edge_types[
+                    start[0] : start[0] + count[0]
+                ]
+                assert required in types
+
+    def test_dead_end_when_no_eligible_type(self):
+        # All edges type 0; scheme demands type 1 -> immediate dead end.
+        graph = from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        typed = assign_random_edge_types(graph, 1, seed=0)  # all type 0
+        program = MetaPathWalk([[1]])
+        config = WalkConfig(num_walkers=3, max_steps=5, record_paths=True)
+        result = WalkEngine(typed, program, config).run()
+        assert result.stats.termination.by_dead_end == 3
+        assert all(len(path) == 1 for path in result.paths)
+
+    def test_alternating_types_walk(self):
+        # Directed ring; the edge out of vertex i has type i % 2, so a
+        # walker with scheme [0, 1] starting at 0 can traverse it.
+        graph = from_edges(10, [(i, (i + 1) % 10) for i in range(10)])
+        from repro.graph.csr import CSRGraph
+
+        typed = CSRGraph(
+            graph.offsets,
+            graph.targets,
+            edge_types=np.array([i % 2 for i in range(10)], dtype=np.int32),
+        )
+        program = MetaPathWalk([[0, 1]])
+        config = WalkConfig(
+            num_walkers=1,
+            max_steps=6,
+            record_paths=True,
+            start_vertices=np.array([0]),
+        )
+        result = WalkEngine(typed, program, config).run()
+        assert result.paths[0].tolist() == [0, 1, 2, 3, 4, 5, 6]
+
+
+class TestRandomSchemes:
+    def test_shapes(self):
+        schemes = random_schemes(10, 5, 5, seed=0)
+        assert len(schemes) == 10
+        assert all(len(s) == 5 for s in schemes)
+        assert all(0 <= t < 5 for s in schemes for t in s)
+
+    def test_deterministic(self):
+        assert random_schemes(3, 4, 5, seed=1) == random_schemes(3, 4, 5, seed=1)
+        assert random_schemes(3, 4, 5, seed=1) != random_schemes(3, 4, 5, seed=2)

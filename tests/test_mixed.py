@@ -1,0 +1,120 @@
+"""Tests for the mixed (non-decoupled) node2vec ablation (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Node2Vec
+from repro.baselines import MixedNode2Vec
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.graph.builder import assign_power_law_weights, from_edges
+from repro.graph.generators import uniform_degree_graph
+
+from tests.helpers import (
+    assert_matches_distribution,
+    diamond_graph,
+    exact_node2vec_law,
+)
+
+
+def weighted_test_graph():
+    graph = uniform_degree_graph(60, 5, seed=0, undirected=True)
+    return assign_power_law_weights(graph, seed=1, max_weight=16.0)
+
+
+class TestLawInvariance:
+    def test_mixed_law_equals_decoupled_law(self):
+        """Folding the weight into Pd must not change the walk law —
+        only its cost."""
+        graph = diamond_graph(weights=True)
+        config = WalkConfig(
+            num_walkers=10_000,
+            max_steps=2,
+            record_paths=True,
+            seed=2,
+            start_vertices=np.zeros(10_000, dtype=np.int64),
+        )
+        mixed = WalkEngine(graph, MixedNode2Vec(0.5, 2.0), config).run()
+        final_law = exact_node2vec_law  # alias for line length
+        # Compare against exact enumeration of the biased walk.
+        first = final_law(graph, 0, -1, 0.5, 2.0, True)
+        joint = np.zeros(16)
+        for middle in range(4):
+            if first[middle] == 0:
+                continue
+            second = final_law(graph, middle, 0, 0.5, 2.0, True)
+            joint[middle * 4 : middle * 4 + 4] = first[middle] * second
+        samples = [
+            int(p[1]) * 4 + int(p[2]) for p in mixed.paths if len(p) == 3
+        ]
+        assert_matches_distribution(samples, joint)
+
+
+class TestCostStructure:
+    def test_mixed_needs_more_trials_on_skewed_weights(self):
+        graph = weighted_test_graph()
+        config = WalkConfig(num_walkers=100, max_steps=10, seed=3)
+        mixed = WalkEngine(graph, MixedNode2Vec(2.0, 0.5), config).run()
+        decoupled = WalkEngine(
+            graph, Node2Vec(2.0, 0.5, biased=True), config
+        ).run()
+        assert (
+            mixed.stats.trials_per_step
+            > 1.5 * decoupled.stats.trials_per_step
+        )
+
+    def test_mixed_trials_grow_with_weight_range(self):
+        base = uniform_degree_graph(60, 5, seed=0, undirected=True)
+        config = WalkConfig(num_walkers=100, max_steps=10, seed=4)
+        trials = []
+        for max_weight in (2.0, 32.0):
+            graph = assign_power_law_weights(
+                base, seed=1, max_weight=max_weight
+            )
+            result = WalkEngine(graph, MixedNode2Vec(2.0, 0.5), config).run()
+            trials.append(result.stats.trials_per_step)
+        assert trials[1] > 1.5 * trials[0]
+
+    def test_decoupled_flat_in_weight_range(self):
+        base = uniform_degree_graph(60, 5, seed=0, undirected=True)
+        config = WalkConfig(num_walkers=100, max_steps=10, seed=5)
+        trials = []
+        for max_weight in (2.0, 32.0):
+            graph = assign_power_law_weights(
+                base, seed=1, max_weight=max_weight
+            )
+            result = WalkEngine(
+                graph, Node2Vec(2.0, 0.5, biased=True), config
+            ).run()
+            trials.append(result.stats.trials_per_step)
+        assert trials[1] < 1.3 * trials[0]
+
+
+class TestBounds:
+    def test_envelope_covers_max_weight(self):
+        graph = from_edges(2, [(0, 1, 7.0), (1, 0, 7.0)])
+        program = MixedNode2Vec(0.5, 1.0)  # max pd term = 2
+        uppers = program.upper_bound_array(graph)
+        assert uppers[0] == pytest.approx(14.0)
+
+    def test_lower_bound_uses_min_weight(self):
+        graph = from_edges(3, [(0, 1, 2.0), (0, 2, 8.0)])
+        program = MixedNode2Vec(1.0, 2.0)  # floor pd term = 0.5
+        lowers = program.lower_bound_array(graph)
+        assert lowers[0] == pytest.approx(1.0)
+
+    def test_no_outliers_declared(self):
+        graph = diamond_graph(weights=True)
+        program = MixedNode2Vec(0.25, 1.0)
+        from repro.core.walker import WalkerSet
+
+        walkers = WalkerSet(np.array([1]))
+        walkers.previous[:] = 0
+        assert program.batch_outliers(graph, walkers, np.array([0])) is None
+        assert program.outlier_specs(graph, walkers.view(0)) == ()
+
+    def test_unweighted_graph_degenerates_to_plain(self):
+        graph = diamond_graph()
+        program = MixedNode2Vec(2.0, 0.5)
+        uppers = program.upper_bound_array(graph)
+        assert np.all(uppers == 2.0)

@@ -1,0 +1,218 @@
+"""Unit tests for the node2vec walk program."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Node2Vec
+from repro.core.program import StateQuery
+from repro.core.walker import NO_VERTEX, WalkerSet
+from repro.errors import ProgramError
+from repro.graph.builder import from_edges
+
+from tests.helpers import diamond_graph
+
+
+def walkers_at(current, previous=None, count=1):
+    walkers = WalkerSet(np.full(count, current, dtype=np.int64))
+    if previous is not None:
+        # Simulate one past move without touching step semantics used
+        # by Pd (node2vec only reads prev).
+        walkers.previous[:] = previous
+        walkers.steps[:] = 1
+    return walkers
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ProgramError):
+            Node2Vec(p=0.0)
+        with pytest.raises(ProgramError):
+            Node2Vec(q=-1.0)
+
+    def test_envelope_with_and_without_folding(self):
+        folded = Node2Vec(p=0.25, q=1.0)  # 1/p = 4 dominates
+        assert folded.folding
+        assert folded.envelope == 1.0
+        naive = Node2Vec(p=0.25, q=1.0, fold_outlier=False)
+        assert not naive.folding
+        assert naive.envelope == 4.0
+
+    def test_folding_auto_disabled_when_useless(self):
+        program = Node2Vec(p=2.0, q=0.5)  # 1/q = 2 dominates, 1/p = 0.5
+        assert not program.folding
+        assert program.envelope == 2.0
+
+    def test_floor(self):
+        assert Node2Vec(p=2.0, q=0.5).floor == 0.5
+        assert Node2Vec(p=0.5, q=2.0).floor == 0.5
+        assert Node2Vec(p=1.0, q=1.0).floor == 1.0
+
+
+class TestDynamicComponent:
+    def test_three_cases(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=4.0, q=0.25, biased=False)
+        walkers = walkers_at(current=1, previous=0)
+        view = walkers.view(0)
+        # Return edge 1 -> 0: d_tx = 0.
+        assert program.edge_dynamic_comp(
+            graph, view, graph.edge_index(1, 0)
+        ) == pytest.approx(0.25)
+        # 1 -> 2 with 2 adjacent to 0: d_tx = 1.
+        assert program.edge_dynamic_comp(
+            graph, view, graph.edge_index(1, 2)
+        ) == pytest.approx(1.0)
+        # 1 -> 3 with 3 not adjacent to 0: d_tx = 2.
+        assert program.edge_dynamic_comp(
+            graph, view, graph.edge_index(1, 3)
+        ) == pytest.approx(4.0)
+
+    def test_first_step_uniform(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=4.0, q=0.25, biased=False)
+        view = walkers_at(current=1).view(0)
+        for edge in range(*graph.edge_range(1)):
+            assert program.edge_dynamic_comp(graph, view, edge) == 1.0
+
+    def test_query_result_short_circuits_adjacency(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=1.0, q=4.0, biased=False)
+        view = walkers_at(current=1, previous=0).view(0)
+        edge = graph.edge_index(1, 3)
+        assert program.edge_dynamic_comp(graph, view, edge, True) == 1.0
+        assert program.edge_dynamic_comp(
+            graph, view, edge, False
+        ) == pytest.approx(0.25)
+
+    def test_batch_matches_scalar(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=0.5, q=2.0, biased=False)
+        walkers = walkers_at(current=1, previous=0, count=3)
+        start, end = graph.edge_range(1)
+        edges = np.arange(start, end)
+        batch = program.batch_dynamic_comp(
+            graph, walkers, np.arange(3), edges
+        )
+        scalar = [
+            program.edge_dynamic_comp(graph, walkers.view(i), int(e))
+            for i, e in enumerate(edges)
+        ]
+        np.testing.assert_allclose(batch, scalar)
+
+    def test_batch_first_step(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=0.5, q=2.0, biased=False)
+        walkers = walkers_at(current=0, count=2)
+        values = program.batch_dynamic_comp(
+            graph, walkers, np.arange(2), np.array([0, 1])
+        )
+        np.testing.assert_array_equal(values, [1.0, 1.0])
+
+
+class TestStateQueries:
+    def test_query_posted_for_non_return_candidates(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=1.0, q=2.0)
+        view = walkers_at(current=1, previous=0).view(0)
+        query = program.state_query(graph, view, graph.edge_index(1, 3))
+        assert query == StateQuery(target_vertex=0, payload=3)
+
+    def test_no_query_for_return_edge_or_first_step(self):
+        graph = diamond_graph()
+        program = Node2Vec()
+        view = walkers_at(current=1, previous=0).view(0)
+        assert program.state_query(graph, view, graph.edge_index(1, 0)) is None
+        fresh = walkers_at(current=1).view(0)
+        assert program.state_query(graph, fresh, 0) is None
+
+    def test_batch_state_queries(self):
+        graph = diamond_graph()
+        program = Node2Vec()
+        walkers = walkers_at(current=1, previous=0, count=2)
+        edges = np.array([graph.edge_index(1, 0), graph.edge_index(1, 3)])
+        targets, payloads = program.batch_state_queries(
+            graph, walkers, np.arange(2), edges
+        )
+        assert targets.tolist() == [-1, 0]
+        assert payloads[1] == 3
+
+    def test_batch_dynamic_with_answers(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=0.5, q=4.0, biased=False)
+        walkers = walkers_at(current=1, previous=0, count=3)
+        edges = np.array(
+            [
+                graph.edge_index(1, 0),  # return
+                graph.edge_index(1, 2),  # neighbour (answer True)
+                graph.edge_index(1, 3),  # non-neighbour (answer False)
+            ]
+        )
+        answers = np.array([0.0, 1.0, 0.0])
+        answered = np.array([False, True, True])
+        values = program.batch_dynamic_with_answers(
+            graph, walkers, np.arange(3), edges, answers, answered
+        )
+        np.testing.assert_allclose(values, [2.0, 1.0, 0.25])
+
+
+class TestOutliers:
+    def test_scalar_spec_points_at_return_edge(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=0.25, q=1.0, biased=False)
+        view = walkers_at(current=1, previous=0).view(0)
+        (spec,) = program.outlier_specs(graph, view)
+        assert graph.targets[spec.edge] == 0
+        assert spec.pd_bound == pytest.approx(4.0)
+        assert spec.static_mass == pytest.approx(1.0)
+
+    def test_no_spec_without_previous(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=0.25, q=1.0)
+        assert program.outlier_specs(graph, walkers_at(0).view(0)) == ()
+
+    def test_no_spec_without_return_edge(self):
+        # Directed: 0 -> 1 -> 2 with no way back.
+        graph = from_edges(3, [(0, 1), (1, 2)])
+        program = Node2Vec(p=0.25, q=1.0)
+        view = walkers_at(current=1, previous=0).view(0)
+        assert program.outlier_specs(graph, view) == ()
+
+    def test_parallel_return_edges_mass_summed(self):
+        graph = from_edges(3, [(1, 0), (1, 0), (1, 2)])
+        program = Node2Vec(p=0.25, q=1.0, biased=False)
+        view = walkers_at(current=1, previous=0).view(0)
+        (spec,) = program.outlier_specs(graph, view)
+        assert spec.static_mass == pytest.approx(2.0)
+
+    def test_batch_outliers(self):
+        graph = diamond_graph(weights=True)
+        program = Node2Vec(p=0.25, q=1.0, biased=True)
+        walkers = WalkerSet(np.array([1, 1, 2]))
+        walkers.previous[:] = [0, NO_VERTEX, 3]
+        edges, bounds, widths, masses = program.batch_outliers(
+            graph, walkers, np.arange(3)
+        )
+        assert edges[1] == -1  # no previous vertex
+        assert graph.targets[edges[0]] == 0
+        assert graph.targets[edges[2]] == 3
+        assert masses[0] == pytest.approx(
+            graph.weights[graph.edge_index(1, 0)]
+        )
+        assert np.all(bounds == 4.0)
+
+    def test_batch_outliers_none_when_not_folding(self):
+        graph = diamond_graph()
+        program = Node2Vec(p=2.0, q=0.5)
+        walkers = walkers_at(current=1, previous=0)
+        assert program.batch_outliers(graph, walkers, np.array([0])) is None
+
+
+class TestStaticComponent:
+    def test_biased_uses_weights(self):
+        graph = diamond_graph(weights=True)
+        assert Node2Vec(biased=True).edge_static_comp(graph) is None
+
+    def test_unbiased_forces_ones(self):
+        graph = diamond_graph(weights=True)
+        static = Node2Vec(biased=False).edge_static_comp(graph)
+        np.testing.assert_array_equal(static, np.ones(graph.num_edges))

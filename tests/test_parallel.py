@@ -1,0 +1,120 @@
+"""Tests for multi-process walk execution."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DeepWalk, Node2Vec, PPR, UniformWalk
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.errors import ConfigError
+from repro.graph.generators import uniform_degree_graph
+from repro.parallel import run_parallel_walk, shard_config
+
+from tests.helpers import diamond_graph
+
+
+@pytest.fixture
+def graph():
+    return uniform_degree_graph(200, 5, seed=0, undirected=True)
+
+
+class TestShardConfig:
+    def test_walker_counts_partition(self, graph):
+        config = WalkConfig(num_walkers=103, max_steps=5)
+        shards = shard_config(config, graph, 4)
+        assert sum(s.num_walkers for s in shards) == 103
+        assert len(shards) == 4
+
+    def test_default_starts_preserved_globally(self, graph):
+        config = WalkConfig(num_walkers=10, max_steps=5)
+        shards = shard_config(config, graph, 3)
+        starts = np.concatenate([s.resolve_starts(graph) for s in shards])
+        np.testing.assert_array_equal(
+            starts, np.arange(10) % graph.num_vertices
+        )
+
+    def test_explicit_starts_partition(self, graph):
+        explicit = np.arange(20) * 3 % graph.num_vertices
+        config = WalkConfig(num_walkers=20, start_vertices=explicit, max_steps=5)
+        shards = shard_config(config, graph, 4)
+        starts = np.concatenate([s.resolve_starts(graph) for s in shards])
+        np.testing.assert_array_equal(starts, explicit)
+
+    def test_distinct_seeds(self, graph):
+        config = WalkConfig(num_walkers=40, max_steps=5, seed=9)
+        shards = shard_config(config, graph, 4)
+        assert len({s.seed for s in shards}) == 4
+
+    def test_more_shards_than_walkers(self, graph):
+        config = WalkConfig(num_walkers=3, max_steps=5)
+        shards = shard_config(config, graph, 8)
+        assert len(shards) == 3
+
+    def test_invalid_shards(self, graph):
+        with pytest.raises(ConfigError):
+            shard_config(WalkConfig(num_walkers=5), graph, 0)
+
+
+class TestParallelExecution:
+    def test_single_worker_matches_walker_count(self, graph):
+        config = WalkConfig(num_walkers=60, max_steps=10, record_paths=True)
+        result = run_parallel_walk(graph, UniformWalk(), config, num_workers=1)
+        assert result.walk_lengths.size == 60
+        assert len(result.paths) == 60
+        assert result.stats.total_steps == 600
+
+    def test_multi_worker_counts(self, graph):
+        config = WalkConfig(num_walkers=80, max_steps=8, record_paths=True)
+        result = run_parallel_walk(graph, DeepWalk(), config, num_workers=4)
+        assert result.num_workers == 4
+        assert result.walk_lengths.size == 80
+        assert result.stats.total_steps == 80 * 8
+        assert all(len(path) == 9 for path in result.paths)
+
+    def test_paths_valid(self, graph):
+        config = WalkConfig(num_walkers=40, max_steps=6, record_paths=True)
+        result = run_parallel_walk(
+            graph, Node2Vec(p=2, q=0.5, biased=False), config, num_workers=2
+        )
+        for path in result.paths:
+            for source, target in zip(path[:-1], path[1:]):
+                assert graph.has_edge(int(source), int(target))
+
+    def test_termination_accounting_merged(self, graph):
+        config = WalkConfig(
+            num_walkers=200,
+            max_steps=None,
+            termination_probability=0.2,
+        )
+        result = run_parallel_walk(graph, PPR(), config, num_workers=3)
+        assert result.stats.termination.total == 200
+
+    def test_distribution_matches_single_engine(self):
+        """Sharded executions draw from the same law."""
+        graph = diamond_graph()
+        config = WalkConfig(
+            num_walkers=8000,
+            max_steps=1,
+            record_paths=True,
+            seed=3,
+            start_vertices=np.full(8000, 1, dtype=np.int64),
+        )
+        parallel = run_parallel_walk(
+            graph, UniformWalk(), config, num_workers=4
+        )
+        single = WalkEngine(graph, UniformWalk(), config).run()
+        a = np.bincount([int(p[-1]) for p in parallel.paths], minlength=4)
+        b = np.bincount([int(p[-1]) for p in single.paths], minlength=4)
+        assert np.abs(a / 8000 - b / 8000).max() < 0.03
+
+    def test_pd_evaluation_rate_unchanged(self, graph):
+        """Sharding must not change per-step sampling cost."""
+        program_args = dict(p=0.5, q=2.0, biased=False)
+        config = WalkConfig(num_walkers=200, max_steps=10, seed=4)
+        parallel = run_parallel_walk(
+            graph, Node2Vec(**program_args), config, num_workers=4
+        )
+        single = WalkEngine(graph, Node2Vec(**program_args), config).run()
+        assert parallel.stats.pd_evaluations_per_step == pytest.approx(
+            single.stats.pd_evaluations_per_step, rel=0.15
+        )

@@ -1,0 +1,102 @@
+"""Tests for the second-order precompute baseline and memory estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.precompute import (
+    ALIAS_BYTES_PER_ENTRY,
+    ITS_BYTES_PER_ENTRY,
+    PrecomputedNode2Vec,
+    estimate_from_degree_stats,
+    second_order_table_bytes,
+    second_order_table_entries,
+)
+from repro.errors import SamplingError
+from repro.graph.builder import from_edges
+from repro.graph.generators import uniform_degree_graph
+
+from tests.helpers import (
+    assert_matches_distribution,
+    diamond_graph,
+    exact_node2vec_law,
+)
+
+
+class TestEstimator:
+    def test_entries_formula(self):
+        graph = diamond_graph()
+        # sum over edges (t, v) of out_degree(v)
+        expected = sum(
+            graph.out_degree(int(target)) for target in graph.targets
+        )
+        assert second_order_table_entries(graph) == expected
+
+    def test_bytes_scaling(self):
+        graph = diamond_graph()
+        its = second_order_table_bytes(graph, ITS_BYTES_PER_ENTRY)
+        alias = second_order_table_bytes(graph, ALIAS_BYTES_PER_ENTRY)
+        assert alias == 2 * its
+
+    def test_undirected_second_moment_identity(self):
+        """For undirected graphs the estimator equals |V| * E[d^2]."""
+        graph = uniform_degree_graph(100, 4, seed=0, undirected=True)
+        degrees = graph.out_degrees().astype(float)
+        exact = second_order_table_entries(graph)
+        moment = estimate_from_degree_stats(
+            graph.num_vertices, degrees.mean(), degrees.var(), 1
+        )
+        assert exact == pytest.approx(moment, rel=1e-9)
+
+    def test_paper_twitter_magnitude(self):
+        """Table 2's Twitter stats give the paper's ~PB-scale numbers."""
+        its = estimate_from_degree_stats(41.7e6, 70.4, 6.42e6, ITS_BYTES_PER_ENTRY)
+        alias = estimate_from_degree_stats(
+            41.7e6, 70.4, 6.42e6, ALIAS_BYTES_PER_ENTRY
+        )
+        assert 0.5e15 < its < 2e15  # paper: ~970 TB
+        assert 1e15 < alias < 4e15  # paper: ~1.89 PB
+
+
+class TestPrecomputedOracle:
+    def test_table_count_matches_enumeration(self):
+        graph = uniform_degree_graph(40, 4, seed=1, undirected=True)
+        oracle = PrecomputedNode2Vec(graph, p=2.0, q=0.5, biased=False)
+        # One start table per vertex with out-edges, plus one state
+        # table per *distinct* (prev, cur) pair with prev -> cur stored.
+        expected = 0
+        for current in range(graph.num_vertices):
+            degree = graph.out_degree(current)
+            if degree == 0:
+                continue
+            expected += degree  # start table
+            for previous in np.unique(graph.neighbors(current)):
+                if graph.has_edge(int(previous), current):
+                    expected += degree
+        assert oracle.table_entries == expected
+        # The per-edge estimator upper-bounds the deduplicated build
+        # (parallel edges collapse into one state).
+        assert second_order_table_entries(graph) + graph.num_edges >= expected
+        assert oracle.memory_bytes() == oracle.table_entries * ALIAS_BYTES_PER_ENTRY
+
+    def test_first_step_law(self):
+        graph = diamond_graph(weights=True)
+        oracle = PrecomputedNode2Vec(graph, p=2.0, q=0.5, biased=True)
+        rng = np.random.default_rng(2)
+        samples = [oracle.sample(1, -1, rng) for _ in range(10_000)]
+        law = exact_node2vec_law(graph, 1, -1, 2.0, 0.5, True)
+        assert_matches_distribution(samples, law)
+
+    def test_second_order_law(self):
+        graph = diamond_graph()
+        oracle = PrecomputedNode2Vec(graph, p=0.5, q=2.0, biased=False)
+        rng = np.random.default_rng(3)
+        samples = [oracle.sample(2, 0, rng) for _ in range(10_000)]
+        law = exact_node2vec_law(graph, 2, 0, 0.5, 2.0, False)
+        assert_matches_distribution(samples, law)
+
+    def test_unknown_state_raises(self):
+        graph = from_edges(3, [(0, 1), (1, 2)])
+        oracle = PrecomputedNode2Vec(graph, p=1.0, q=1.0)
+        rng = np.random.default_rng(4)
+        with pytest.raises(SamplingError):
+            oracle.sample(2, 1, rng)  # vertex 2 has no out-edges

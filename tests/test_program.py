@@ -1,0 +1,125 @@
+"""Unit tests for the WalkerProgram API surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.program import StateQuery, WalkerProgram
+from repro.core.walker import WalkerSet
+from repro.errors import ProgramError
+
+from tests.helpers import diamond_graph
+
+
+class TestDefaults:
+    def test_static_defaults(self):
+        program = WalkerProgram()
+        graph = diamond_graph()
+        assert program.edge_static_comp(graph) is None
+        assert program.dynamic_upper_bound(graph, 0) == 1.0
+        assert program.dynamic_lower_bound(graph, 0) == 0.0
+        walkers = WalkerSet(np.array([0]))
+        assert (
+            program.edge_dynamic_comp(graph, walkers.view(0), 0) == 1.0
+        )
+        assert program.state_query(graph, walkers.view(0), 0) is None
+        assert program.outlier_specs(graph, walkers.view(0)) == ()
+        assert program.should_continue(graph, walkers.view(0))
+
+    def test_bound_arrays_loop_scalar_hooks(self):
+        class Custom(WalkerProgram):
+            dynamic = True
+
+            def dynamic_upper_bound(self, graph, vertex):
+                return float(vertex + 1)
+
+        graph = diamond_graph()
+        uppers = Custom().upper_bound_array(graph)
+        assert uppers.tolist() == [1.0, 2.0, 3.0, 4.0]
+        lowers = Custom().lower_bound_array(graph)
+        assert lowers.tolist() == [0.0] * 4
+
+    def test_default_answer_is_neighbour_query(self):
+        program = WalkerProgram()
+        graph = diamond_graph()
+        assert program.answer_state_query(graph, StateQuery(0, 1)) is True
+        assert program.answer_state_query(graph, StateQuery(0, 3)) is False
+
+    def test_batch_hooks_raise_without_implementation(self):
+        program = WalkerProgram()
+        graph = diamond_graph()
+        walkers = WalkerSet(np.array([0]))
+        with pytest.raises(ProgramError):
+            program.batch_dynamic_comp(
+                graph, walkers, np.array([0]), np.array([0])
+            )
+        assert program.batch_outliers(graph, walkers, np.array([0])) is None
+
+
+class TestBatchQueryDefaults:
+    def test_batch_state_queries_loops_scalar_hook(self):
+        class Curious(WalkerProgram):
+            dynamic = True
+            order = 2
+
+            def state_query(self, graph, walker, edge_index):
+                target = int(graph.targets[edge_index])
+                if target == 3:
+                    return None
+                return StateQuery(target_vertex=target, payload=walker.current)
+
+        graph = diamond_graph()
+        walkers = WalkerSet(np.array([0, 1]))
+        program = Curious()
+        edge_to_1 = graph.edge_index(0, 1)
+        edge_to_3 = graph.edge_index(1, 3)
+        targets, payloads = program.batch_state_queries(
+            graph, walkers, np.array([0, 1]), np.array([edge_to_1, edge_to_3])
+        )
+        assert targets.tolist() == [1, -1]
+        assert payloads[0] == 0
+
+    def test_batch_answer_queries_default(self):
+        program = WalkerProgram()
+        graph = diamond_graph()
+        answers = program.batch_answer_queries(
+            graph, np.array([0, 0]), np.array([1, 3])
+        )
+        assert answers.tolist() == [1.0, 0.0]
+
+    def test_batch_dynamic_with_answers_delegates(self):
+        class Flat(WalkerProgram):
+            dynamic = True
+            supports_batch = True
+
+            def batch_dynamic_comp(self, graph, walkers, walker_ids, edges):
+                return np.full(walker_ids.size, 0.5)
+
+        graph = diamond_graph()
+        walkers = WalkerSet(np.array([0]))
+        values = Flat().batch_dynamic_with_answers(
+            graph,
+            walkers,
+            np.array([0]),
+            np.array([0]),
+            np.zeros(1),
+            np.zeros(1, dtype=bool),
+        )
+        assert values.tolist() == [0.5]
+
+
+class TestValidate:
+    def test_bad_order(self):
+        program = WalkerProgram()
+        program.order = 3
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_second_order_must_be_dynamic(self):
+        program = WalkerProgram()
+        program.order = 2
+        program.dynamic = False
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_repr(self):
+        assert "static" in repr(WalkerProgram())

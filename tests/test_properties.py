@@ -1,0 +1,146 @@
+"""Property-based invariants over random graphs and configurations.
+
+Hypothesis drives the engines across arbitrary topologies and walk
+settings; the invariants below must hold for *any* of them:
+
+* every recorded walk step follows a stored edge;
+* step counters, termination accounting, and trial counters agree;
+* rejection sampling's Pd-evaluation count never exceeds its trials;
+* the distributed engine always agrees with the local engine on walk
+  lengths given the same seed-independent termination structure.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import Node2Vec, UniformWalk
+from repro.cluster import DistributedWalkEngine
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.graph.builder import from_arrays
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random directed graphs, possibly with dead ends."""
+    num_vertices = draw(st.integers(3, 12))
+    num_edges = draw(st.integers(2, 40))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, num_vertices, size=num_edges)
+    targets = rng.integers(0, num_vertices, size=num_edges)
+    keep = sources != targets
+    if not keep.any():
+        sources, targets = np.array([0]), np.array([1])
+    else:
+        sources, targets = sources[keep], targets[keep]
+    undirected = draw(st.booleans())
+    return from_arrays(
+        num_vertices, sources, targets, undirected=undirected
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph=random_graphs(),
+    max_steps=st.integers(1, 12),
+    num_walkers=st.integers(1, 25),
+    seed=st.integers(0, 1000),
+)
+def test_uniform_walk_invariants(graph, max_steps, num_walkers, seed):
+    config = WalkConfig(
+        num_walkers=num_walkers,
+        max_steps=max_steps,
+        record_paths=True,
+        seed=seed,
+    )
+    result = WalkEngine(graph, UniformWalk(), config).run()
+
+    # Paths follow edges and lengths match the step counters.
+    for walker_id, path in enumerate(result.paths):
+        assert len(path) == result.walkers.steps[walker_id] + 1
+        assert len(path) <= max_steps + 1
+        for source, target in zip(path[:-1], path[1:]):
+            assert graph.has_edge(int(source), int(target))
+
+    # Every walker terminated exactly once.
+    assert result.stats.termination.total == num_walkers
+    # Step accounting is exact.
+    assert result.stats.total_steps == int(result.walkers.steps.sum())
+    assert not result.walkers.alive.any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph=random_graphs(),
+    p=st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+    q=st.sampled_from([0.25, 1.0, 4.0]),
+    seed=st.integers(0, 1000),
+)
+def test_node2vec_counter_invariants(graph, p, q, seed):
+    config = WalkConfig(num_walkers=10, max_steps=6, seed=seed)
+    result = WalkEngine(
+        graph, Node2Vec(p=p, q=q, biased=False), config
+    ).run()
+    counters = result.stats.counters
+    assert counters.pd_evaluations + counters.pre_accepts <= (
+        counters.trials + counters.appendix_trials
+    )
+    assert counters.accepts <= counters.trials
+    assert result.stats.total_steps >= counters.accepts
+    assert result.stats.termination.total == 10
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=random_graphs(),
+    num_nodes=st.integers(1, 3),
+    seed=st.integers(0, 500),
+)
+def test_distributed_engine_invariants(graph, num_nodes, seed):
+    num_nodes = min(num_nodes, graph.num_vertices)
+    config = WalkConfig(
+        num_walkers=8, max_steps=5, record_paths=True, seed=seed
+    )
+    result = DistributedWalkEngine(
+        graph, UniformWalk(), config, num_nodes=num_nodes
+    ).run()
+    for path in result.paths:
+        for source, target in zip(path[:-1], path[1:]):
+            assert graph.has_edge(int(source), int(target))
+    assert result.cluster.num_supersteps == result.stats.iterations
+    assert result.cluster.simulated_seconds > 0
+    # Message totals are consistent: queries come in request/response
+    # pairs.
+    from repro.cluster import MessageKind
+
+    network = result.cluster.network
+    assert network.total_messages(MessageKind.STATE_QUERY) == (
+        network.total_messages(MessageKind.QUERY_RESPONSE)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    termination=st.floats(min_value=0.05, max_value=0.9),
+    seed=st.integers(0, 1000),
+)
+def test_geometric_termination_bounds(termination, seed):
+    """Walk lengths under a termination coin are finite and the
+    termination reason accounting covers every walker."""
+    graph = from_arrays(
+        6,
+        np.array([0, 1, 2, 3, 4, 5]),
+        np.array([1, 2, 3, 4, 5, 0]),
+    )
+    config = WalkConfig(
+        num_walkers=30,
+        max_steps=None,
+        termination_probability=termination,
+        seed=seed,
+    )
+    result = WalkEngine(graph, UniformWalk(), config).run()
+    breakdown = result.stats.termination
+    assert breakdown.by_probability + breakdown.by_dead_end == 30
+    assert result.walk_lengths.max() < 10_000

@@ -1,0 +1,48 @@
+"""Unit tests for the benchmark result tables."""
+
+import pytest
+
+from repro.bench.reporting import ResultTable, format_seconds, format_speedup
+
+
+class TestFormatting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(123.4) == "123"
+        assert format_seconds(12.345) == "12.35"
+        assert format_seconds(0.01234) == "0.0123"
+
+    def test_format_speedup(self):
+        assert format_speedup(7.931) == "7.93"
+        assert format_speedup(1152.03) == "1152"
+        assert format_speedup(42.0, estimated=True) == "42.00*"
+
+
+class TestResultTable:
+    def test_add_row_and_format(self):
+        table = ResultTable("Demo", ["a", "bb"])
+        table.add_row(1, "x")
+        table.add_row("long-cell", 2)
+        text = table.format()
+        assert "Demo" in text
+        assert "long-cell" in text
+        lines = text.splitlines()
+        assert lines[1] == "=" * len("Demo")
+
+    def test_row_arity_checked(self):
+        table = ResultTable("t", ["one"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_column_access(self):
+        table = ResultTable("t", ["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("value") == ["1", "2"]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_notes_rendered(self):
+        table = ResultTable("t", ["c"])
+        table.add_note("caveat emptor")
+        assert "note: caveat emptor" in table.format()
+        assert str(table) == table.format()

@@ -1,0 +1,130 @@
+"""Tests for Random Walk with Restart and the teleport hook."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import RandomWalkWithRestart, rwr_config, rwr_scores
+from repro.algorithms.rwr import HOME_STATE
+from repro.cluster import DistributedWalkEngine, MessageKind
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.errors import ProgramError
+from repro.graph.generators import ring_graph, uniform_degree_graph
+
+from tests.helpers import two_triangle_graph
+
+
+@pytest.fixture
+def graph():
+    return uniform_degree_graph(150, 5, seed=0, undirected=True)
+
+
+class TestConstruction:
+    def test_invalid_restart_probability(self):
+        with pytest.raises(ProgramError):
+            RandomWalkWithRestart(0.0)
+        with pytest.raises(ProgramError):
+            RandomWalkWithRestart(1.0)
+
+    def test_config_defaults(self):
+        config = rwr_config()
+        assert config.max_steps == 400
+        assert config.record_paths
+
+
+class TestRestartBehaviour:
+    def test_homes_recorded(self, graph):
+        engine = WalkEngine(
+            graph,
+            RandomWalkWithRestart(0.2),
+            WalkConfig(num_walkers=20, max_steps=5),
+        )
+        homes = engine.walkers.state(HOME_STATE)
+        np.testing.assert_array_equal(
+            homes, np.arange(20) % graph.num_vertices
+        )
+
+    def test_paths_jump_back_home(self, graph):
+        restart = 0.3
+        config = WalkConfig(
+            num_walkers=200, max_steps=30, record_paths=True, seed=1
+        )
+        result = WalkEngine(graph, RandomWalkWithRestart(restart), config).run()
+        # Any transition that is not a stored edge must be a jump home.
+        for path in result.paths:
+            home = path[0]
+            for source, target in zip(path[:-1], path[1:]):
+                if not graph.has_edge(int(source), int(target)):
+                    assert target == home
+        # The teleport counter tracks the restart probability exactly.
+        assert result.stats.teleports / result.stats.total_steps == (
+            pytest.approx(restart, abs=0.03)
+        )
+
+    def test_restart_rate_scales(self, graph):
+        rates = {}
+        for restart in (0.1, 0.5):
+            config = WalkConfig(
+                num_walkers=300, max_steps=20, record_paths=True, seed=2
+            )
+            result = WalkEngine(
+                graph, RandomWalkWithRestart(restart), config
+            ).run()
+            homes = np.asarray([p[0] for p in result.paths])
+            home_visits = sum(
+                int(np.count_nonzero(path[1:] == home))
+                for path, home in zip(result.paths, homes)
+            )
+            rates[restart] = home_visits / sum(
+                len(p) - 1 for p in result.paths
+            )
+        assert rates[0.5] > 2 * rates[0.1]
+
+    def test_walk_lengths_unaffected_by_restarts(self, graph):
+        config = WalkConfig(num_walkers=50, max_steps=25)
+        result = WalkEngine(graph, RandomWalkWithRestart(0.4), config).run()
+        assert np.all(result.walk_lengths == 25)
+
+
+class TestScores:
+    def test_scores_concentrate_near_home(self):
+        graph = two_triangle_graph()
+        num_walkers = 2000
+        config = WalkConfig(
+            num_walkers=num_walkers,
+            max_steps=50,
+            record_paths=True,
+            seed=3,
+            start_vertices=np.ones(num_walkers, dtype=np.int64),
+        )
+        result = WalkEngine(graph, RandomWalkWithRestart(0.3), config).run()
+        scores = rwr_scores(result, source=1, num_vertices=5)
+        assert scores.sum() == pytest.approx(1.0)
+        # Home vertex and its triangle get more mass than the far one.
+        assert scores[1] == scores.max()
+        assert scores[2] > scores[4]
+
+    def test_scores_require_paths(self, graph):
+        config = WalkConfig(num_walkers=5, max_steps=5)
+        result = WalkEngine(graph, RandomWalkWithRestart(0.2), config).run()
+        with pytest.raises(ProgramError):
+            rwr_scores(result, 0, graph.num_vertices)
+
+
+class TestDistributedTeleports:
+    def test_teleports_count_migrations(self):
+        graph = ring_graph(40, undirected=True)
+        config = WalkConfig(
+            num_walkers=100, max_steps=20, record_paths=True, seed=4
+        )
+        result = DistributedWalkEngine(
+            graph, RandomWalkWithRestart(0.4), config, num_nodes=4
+        ).run()
+        # Restart jumps across the ring routinely change owners.
+        assert (
+            result.cluster.network.total_messages(MessageKind.WALKER_MIGRATE)
+            > 0
+        )
+        # Paths still reconstruct correctly.
+        for path in result.paths:
+            assert len(path) == 21

@@ -1,0 +1,149 @@
+"""Tests for walk checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    MetaPathWalk,
+    Node2Vec,
+    PPR,
+    UniformWalk,
+    random_schemes,
+)
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.core.snapshot import restore_checkpoint, save_checkpoint
+from repro.errors import ReproError
+from repro.graph.generators import uniform_degree_graph
+from repro.graph.hetero import assign_random_edge_types
+
+
+@pytest.fixture
+def graph():
+    return uniform_degree_graph(150, 5, seed=0, undirected=True)
+
+
+class TestPartialRun:
+    def test_max_iterations_stops_early(self, graph):
+        config = WalkConfig(num_walkers=30, max_steps=20)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        result = engine.run(max_iterations=5)
+        assert result.stats.iterations == 5
+        assert result.walkers.num_active == 30
+
+    def test_run_can_be_called_again(self, graph):
+        config = WalkConfig(num_walkers=30, max_steps=10)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        engine.run(max_iterations=3)
+        result = engine.run()
+        assert result.walkers.num_active == 0
+        assert np.all(result.walk_lengths == 10)
+
+
+class TestCheckpointResume:
+    def test_resume_completes_walk(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=40, max_steps=15, record_paths=True)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        engine.run(max_iterations=6)
+        checkpoint = tmp_path / "walk.npz"
+        save_checkpoint(engine, checkpoint)
+
+        resumed = restore_checkpoint(graph, UniformWalk(), config, checkpoint)
+        result = resumed.run()
+        assert result.walkers.num_active == 0
+        assert np.all(result.walk_lengths == 15)
+        for path in result.paths:
+            assert len(path) == 16
+            for source, target in zip(path[:-1], path[1:]):
+                assert graph.has_edge(int(source), int(target))
+
+    def test_resume_is_bit_identical(self, graph, tmp_path):
+        """Interrupted + resumed == uninterrupted, path for path."""
+        config = WalkConfig(
+            num_walkers=25, max_steps=12, record_paths=True, seed=7
+        )
+        uninterrupted = WalkEngine(graph, UniformWalk(), config).run()
+
+        engine = WalkEngine(graph, UniformWalk(), config)
+        engine.run(max_iterations=4)
+        checkpoint = tmp_path / "walk.npz"
+        save_checkpoint(engine, checkpoint)
+        resumed = restore_checkpoint(
+            graph, UniformWalk(), config, checkpoint
+        ).run()
+
+        for a, b in zip(uninterrupted.paths, resumed.paths):
+            np.testing.assert_array_equal(a, b)
+        assert (
+            uninterrupted.stats.counters.trials
+            == resumed.stats.counters.trials
+        )
+
+    def test_resume_second_order_program(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=30, max_steps=10, seed=2)
+        program = Node2Vec(p=0.5, q=2.0, biased=False)
+        engine = WalkEngine(graph, program, config)
+        engine.run(max_iterations=5)
+        checkpoint = tmp_path / "n2v.npz"
+        save_checkpoint(engine, checkpoint)
+        resumed = restore_checkpoint(
+            graph, Node2Vec(p=0.5, q=2.0, biased=False), config, checkpoint
+        )
+        result = resumed.run()
+        assert result.walkers.num_active == 0
+        assert np.all(result.walk_lengths == 10)
+
+    def test_custom_state_restored(self, tmp_path):
+        graph = assign_random_edge_types(
+            uniform_degree_graph(80, 4, seed=1, undirected=True), 3, seed=2
+        )
+        schemes = random_schemes(5, 3, 3, seed=3)
+        config = WalkConfig(num_walkers=40, max_steps=9, seed=4)
+        engine = WalkEngine(graph, MetaPathWalk(schemes), config)
+        engine.run(max_iterations=3)
+        assignments = engine.walkers.state("metapath_scheme").copy()
+        checkpoint = tmp_path / "mp.npz"
+        save_checkpoint(engine, checkpoint)
+        resumed = restore_checkpoint(
+            graph, MetaPathWalk(schemes), config, checkpoint
+        )
+        np.testing.assert_array_equal(
+            resumed.walkers.state("metapath_scheme"), assignments
+        )
+
+    def test_termination_stats_carry_over(self, graph, tmp_path):
+        config = WalkConfig(
+            num_walkers=300, max_steps=None, termination_probability=0.3, seed=5
+        )
+        engine = WalkEngine(graph, PPR(), config)
+        engine.run(max_iterations=4)
+        dead_so_far = engine.stats.termination.by_probability
+        assert dead_so_far > 0
+        checkpoint = tmp_path / "ppr.npz"
+        save_checkpoint(engine, checkpoint)
+        result = restore_checkpoint(graph, PPR(), config, checkpoint).run()
+        assert result.stats.termination.by_probability == 300
+
+
+class TestValidation:
+    def test_walker_count_mismatch(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=10, max_steps=5)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        checkpoint = tmp_path / "walk.npz"
+        save_checkpoint(engine, checkpoint)
+        other = WalkConfig(num_walkers=11, max_steps=5)
+        with pytest.raises(ReproError):
+            restore_checkpoint(graph, UniformWalk(), other, checkpoint)
+
+    def test_missing_recorder_payload(self, graph, tmp_path):
+        config_plain = WalkConfig(num_walkers=10, max_steps=5)
+        engine = WalkEngine(graph, UniformWalk(), config_plain)
+        checkpoint = tmp_path / "walk.npz"
+        save_checkpoint(engine, checkpoint)
+        config_recording = WalkConfig(
+            num_walkers=10, max_steps=5, record_paths=True
+        )
+        with pytest.raises(ReproError):
+            restore_checkpoint(
+                graph, UniformWalk(), config_recording, checkpoint
+            )

@@ -1,0 +1,38 @@
+"""Unit tests for execution statistics containers."""
+
+import pytest
+
+from repro.core.stats import TerminationBreakdown, WalkStats
+from repro.sampling.rejection import SamplingCounters
+
+
+class TestTerminationBreakdown:
+    def test_total(self):
+        breakdown = TerminationBreakdown(
+            by_step_limit=3, by_probability=2, by_dead_end=1
+        )
+        assert breakdown.total == 6
+
+
+class TestWalkStats:
+    def test_per_step_metrics(self):
+        stats = WalkStats()
+        stats.total_steps = 100
+        stats.counters = SamplingCounters(trials=150, pd_evaluations=80)
+        stats.full_scan_evaluations = 20
+        assert stats.pd_evaluations_per_step == pytest.approx(1.0)
+        assert stats.trials_per_step == pytest.approx(1.5)
+
+    def test_zero_steps_safe(self):
+        stats = WalkStats()
+        assert stats.pd_evaluations_per_step == 0.0
+        assert stats.trials_per_step == 0.0
+
+    def test_summary_contains_key_fields(self):
+        stats = WalkStats()
+        stats.total_steps = 10
+        stats.iterations = 4
+        text = stats.summary()
+        assert "steps=10" in text
+        assert "iterations=4" in text
+        assert "pd_evals/step" in text

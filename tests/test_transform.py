@@ -1,0 +1,119 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import assign_random_weights, from_edges
+from repro.graph.generators import ring_graph, uniform_degree_graph
+from repro.graph.transform import (
+    connected_components,
+    induced_subgraph,
+    largest_component_subgraph,
+    reverse_graph,
+)
+
+
+class TestReverse:
+    def test_directed_reversal(self):
+        graph = from_edges(4, [(0, 1), (1, 2), (0, 3)])
+        reversed_graph = reverse_graph(graph)
+        assert reversed_graph.has_edge(1, 0)
+        assert reversed_graph.has_edge(2, 1)
+        assert reversed_graph.has_edge(3, 0)
+        assert not reversed_graph.has_edge(0, 1)
+        assert reversed_graph.num_edges == 3
+
+    def test_weights_travel(self):
+        graph = from_edges(3, [(0, 1, 5.0), (1, 2, 7.0)])
+        reversed_graph = reverse_graph(graph)
+        edge = reversed_graph.edge_index(1, 0)
+        assert reversed_graph.weights[edge] == 5.0
+
+    def test_double_reverse_identity(self):
+        graph = uniform_degree_graph(40, 4, seed=0)
+        assert reverse_graph(reverse_graph(graph)) == graph
+
+    def test_undirected_self_reverse(self):
+        graph = uniform_degree_graph(30, 3, seed=1, undirected=True)
+        reversed_graph = reverse_graph(graph)
+        assert reversed_graph.is_undirected
+        assert reversed_graph == graph
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        graph = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        subgraph, mapping = induced_subgraph(graph, np.array([0, 1, 2]))
+        assert mapping.tolist() == [0, 1, 2]
+        assert subgraph.num_vertices == 3
+        assert subgraph.has_edge(0, 1)
+        assert subgraph.has_edge(1, 2)
+        assert subgraph.num_edges == 2  # 2->3, 3->4, 4->0 dropped
+
+    def test_relabelling(self):
+        graph = from_edges(6, [(3, 5), (5, 3)])
+        subgraph, mapping = induced_subgraph(graph, np.array([5, 3]))
+        assert mapping.tolist() == [3, 5]  # sorted original ids
+        assert subgraph.has_edge(0, 1) and subgraph.has_edge(1, 0)
+
+    def test_weights_and_types_travel(self):
+        graph = from_edges(4, [(0, 1, 2.5), (1, 2, 3.5)])
+        subgraph, _ = induced_subgraph(graph, np.array([0, 1]))
+        assert subgraph.weights.tolist() == [2.5]
+
+    def test_errors(self):
+        graph = ring_graph(4)
+        with pytest.raises(GraphError):
+            induced_subgraph(graph, np.array([], dtype=np.int64))
+        with pytest.raises(GraphError):
+            induced_subgraph(graph, np.array([9]))
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        labels = connected_components(graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_directed_weak_connectivity(self):
+        # 0 -> 1 and 2 -> 1: weakly one component.
+        graph = from_edges(3, [(0, 1), (2, 1)])
+        labels = connected_components(graph)
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_largest_component_extraction(self):
+        graph = from_edges(
+            10,
+            [(0, 1), (1, 2), (2, 0)]  # triangle
+            + [(4, 5)]  # pair
+            + [(6, 7), (7, 8), (8, 9), (9, 6)],  # square
+        )
+        subgraph, mapping = largest_component_subgraph(graph)
+        assert subgraph.num_vertices == 4
+        assert sorted(mapping.tolist()) == [6, 7, 8, 9]
+
+    def test_fully_connected_graph_unchanged(self):
+        graph = uniform_degree_graph(50, 4, seed=2, undirected=True)
+        subgraph, mapping = largest_component_subgraph(graph)
+        if mapping.size == graph.num_vertices:  # usually connected
+            assert subgraph.num_edges == graph.num_edges
+
+
+class TestWalksOnTransformedGraphs:
+    def test_walk_on_largest_component(self):
+        """The canonical pipeline: restrict walks to the big component."""
+        from repro.algorithms import UniformWalk
+        from repro.core.config import WalkConfig
+        from repro.core.engine import WalkEngine
+
+        graph = from_edges(
+            8, [(0, 1), (1, 0), (1, 2), (2, 1), (3, 4)]
+        )
+        subgraph, _mapping = largest_component_subgraph(graph)
+        config = WalkConfig(num_walkers=10, max_steps=5, record_paths=True)
+        result = WalkEngine(subgraph, UniformWalk(), config).run()
+        assert result.stats.total_steps > 0

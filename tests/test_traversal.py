@@ -1,0 +1,79 @@
+"""Unit tests for BFS (the Figure 5 comparator)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    ring_graph,
+    uniform_degree_graph,
+)
+from repro.graph.traversal import UNREACHED, bfs, largest_reachable_set
+
+
+def to_networkx(graph):
+    sources = np.repeat(np.arange(graph.num_vertices), graph.out_degrees())
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    nx_graph.add_edges_from(zip(sources.tolist(), graph.targets.tolist()))
+    return nx_graph
+
+
+class TestBFS:
+    def test_matches_networkx_levels(self):
+        graph = erdos_renyi_graph(300, 3.0, seed=5)
+        result = bfs(graph, 0)
+        oracle = nx.single_source_shortest_path_length(to_networkx(graph), 0)
+        for vertex in range(graph.num_vertices):
+            expected = oracle.get(vertex, UNREACHED)
+            assert result.levels[vertex] == expected
+
+    def test_frontier_sizes_sum_to_reached(self):
+        graph = erdos_renyi_graph(300, 3.0, seed=6)
+        result = bfs(graph, 0)
+        assert sum(result.frontier_sizes) == result.num_reached
+
+    def test_frontier_matches_level_histogram(self):
+        graph = uniform_degree_graph(200, 4, seed=7, undirected=True)
+        result = bfs(graph, 3)
+        reached_levels = result.levels[result.levels != UNREACHED]
+        histogram = np.bincount(reached_levels)
+        assert histogram.tolist() == result.frontier_sizes
+
+    def test_ring_levels(self):
+        result = bfs(ring_graph(6), 0)
+        assert result.levels.tolist() == [0, 1, 2, 3, 4, 5]
+        assert result.frontier_sizes == [1] * 6
+
+    def test_unreachable(self):
+        graph = from_edges(4, [(0, 1)])
+        result = bfs(graph, 0)
+        assert result.levels[2] == UNREACHED
+        assert result.num_reached == 2
+
+    def test_isolated_source(self):
+        graph = from_edges(3, [(1, 2)])
+        result = bfs(graph, 0)
+        assert result.num_reached == 1
+        assert result.num_iterations == 1
+
+    def test_bad_source(self):
+        with pytest.raises(GraphError):
+            bfs(ring_graph(4), 9)
+
+
+class TestLargestReachableSet:
+    def test_connected_graph_reaches_everything(self):
+        graph = uniform_degree_graph(100, 5, seed=8, undirected=True)
+        reached = largest_reachable_set(graph, num_probes=4, seed=0)
+        assert reached.size == graph.num_vertices
+
+    def test_returns_largest_component(self):
+        # 0->1 chain and a big ring from 2..9 with no inter-links.
+        edges = [(0, 1)] + [(i, 2 + (i - 1) % 8) for i in range(2, 10)]
+        graph = from_edges(10, [(0, 1)] + [(i, i + 1) for i in range(2, 9)] + [(9, 2)])
+        reached = largest_reachable_set(graph, num_probes=10, seed=1)
+        assert reached.size >= 8

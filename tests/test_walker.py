@@ -1,0 +1,74 @@
+"""Unit tests for walker state storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.walker import NO_VERTEX, WalkerSet, WalkerView
+from repro.errors import ProgramError
+
+
+@pytest.fixture
+def walkers():
+    return WalkerSet(np.array([3, 1, 4, 1, 5]))
+
+
+class TestWalkerSet:
+    def test_initial_state(self, walkers):
+        assert walkers.num_walkers == 5
+        assert walkers.num_active == 5
+        assert walkers.current.tolist() == [3, 1, 4, 1, 5]
+        assert np.all(walkers.previous == NO_VERTEX)
+        assert np.all(walkers.steps == 0)
+
+    def test_move(self, walkers):
+        walkers.move(np.array([0, 2]), np.array([7, 8]))
+        assert walkers.current.tolist() == [7, 1, 8, 1, 5]
+        assert walkers.previous.tolist() == [3, NO_VERTEX, 4, NO_VERTEX, NO_VERTEX]
+        assert walkers.steps.tolist() == [1, 0, 1, 0, 0]
+
+    def test_kill(self, walkers):
+        walkers.kill(np.array([1, 3]))
+        assert walkers.num_active == 3
+        assert walkers.active_ids().tolist() == [0, 2, 4]
+
+    def test_custom_state(self, walkers):
+        walkers.add_state("scheme", np.array([0, 1, 2, 3, 4]))
+        assert walkers.has_state("scheme")
+        assert walkers.state("scheme")[2] == 2
+
+    def test_custom_state_wrong_size(self, walkers):
+        with pytest.raises(ProgramError):
+            walkers.add_state("bad", np.array([1, 2]))
+
+    def test_missing_state(self, walkers):
+        with pytest.raises(ProgramError):
+            walkers.state("nope")
+
+
+class TestWalkerView:
+    def test_attributes(self, walkers):
+        view = walkers.view(0)
+        assert view.current == 3
+        assert view.prev == NO_VERTEX
+        assert view.step == 0
+        assert view.alive
+
+        walkers.move(np.array([0]), np.array([9]))
+        assert view.current == 9
+        assert view.prev == 3
+        assert view.step == 1
+
+    def test_state_access(self, walkers):
+        walkers.add_state("flag", np.zeros(5, dtype=np.int64))
+        view = walkers.view(4)
+        view.set_state("flag", 7)
+        assert view.state("flag") == 7
+        assert walkers.state("flag")[4] == 7
+
+    def test_repr(self, walkers):
+        assert "WalkerView" in repr(walkers.view(1))
+
+    def test_view_tracks_death(self, walkers):
+        view = walkers.view(2)
+        walkers.kill(np.array([2]))
+        assert not view.alive
