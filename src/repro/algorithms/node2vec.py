@@ -256,19 +256,33 @@ class Node2Vec(WalkerProgram):
             found = first >= 0
             lanes = valid[found]
             edges[lanes] = first[found]
-            if self.biased and graph.weights is not None:
-                weights = graph.weights
-                span_mass = np.zeros(lanes.size, dtype=np.float64)
-                for position, (start, count) in enumerate(
-                    zip(first[found], counts[found])
-                ):
-                    span_mass[position] = weights[start : start + count].sum()
-                masses[lanes] = span_mass
+            if self.biased and graph.weights is not None and lanes.size:
+                # Segment sums over the (start, start+count) spans in
+                # one reduceat: interleave starts and ends, keep the
+                # even slots.  Weights are padded with a trailing zero
+                # so an end index of |E| stays legal.
+                padded = self._padded_weights(graph)
+                starts = first[found]
+                segments = np.empty(2 * starts.size, dtype=np.int64)
+                segments[0::2] = starts
+                segments[1::2] = starts + counts[found]
+                masses[lanes] = np.add.reduceat(padded, segments)[0::2]
             else:
                 masses[lanes] = counts[found].astype(np.float64)
 
         bounds = np.full(walker_ids.size, self.return_pd, dtype=np.float64)
         return edges, bounds, masses, masses
+
+    def _padded_weights(self, graph: CSRGraph) -> np.ndarray:
+        """Graph weights with one trailing zero, cached per graph."""
+        cached = getattr(self, "_padded_weight_cache", None)
+        if cached is None or cached[0] is not graph.weights:
+            padded = np.concatenate(
+                [graph.weights, np.zeros(1, dtype=np.float64)]
+            )
+            self._padded_weight_cache = (graph.weights, padded)
+            return padded
+        return cached[1]
 
 
 def node2vec_config(

@@ -39,7 +39,8 @@ from repro.cluster.cost_model import CostModel, NodeWork
 from repro.cluster.network import MessageKind, Network
 from repro.cluster.scheduler import ThreadPolicy
 from repro.core.config import WalkConfig
-from repro.core.engine import WalkEngine, WalkResult
+from repro.core.engine import ZERO_MASS_GUARD_TRIALS, WalkEngine, WalkResult
+from repro.core.kernels import adaptive_trial_count, batch_multi_trial_round
 from repro.core.program import WalkerProgram
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import ContiguousPartition, partition_graph
@@ -110,6 +111,7 @@ class DistributedWalkEngine(WalkEngine):
         cost_model: CostModel | None = None,
         use_lower_bound: bool = True,
         validate_bounds: bool = False,
+        fuse_trials: bool = True,
     ) -> None:
         super().__init__(
             graph,
@@ -117,6 +119,7 @@ class DistributedWalkEngine(WalkEngine):
             config,
             use_lower_bound=use_lower_bound,
             validate_bounds=validate_bounds,
+            fuse_trials=fuse_trials,
         )
         self.partition: ContiguousPartition = partition_graph(graph, num_nodes)
         self.num_nodes = num_nodes
@@ -183,6 +186,11 @@ class DistributedWalkEngine(WalkEngine):
         if survivors.size:
             if self.sync_mode == "trial":
                 self._distributed_round(survivors)
+            elif self._fuse:
+                pending = survivors
+                while pending.size:
+                    moved = self._distributed_multi_round(pending)
+                    pending = pending[~moved]
             else:
                 pending = survivors
                 while pending.size:
@@ -387,22 +395,92 @@ class DistributedWalkEngine(WalkEngine):
             if self._recorder is not None:
                 self._recorder.record_moves(movers, new_vertices)
 
-        stuck = walker_ids[~accepted]
-        if stuck.size:
+        stuck_lanes = np.flatnonzero(~accepted)
+        if stuck_lanes.size:
+            stuck = walker_ids[stuck_lanes]
             self._rejection_streak[stuck] += 1
-            from repro.core.engine import ZERO_MASS_GUARD_TRIALS
-
-            guarded = stuck[
+            guarded_lanes = stuck_lanes[
                 self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
             ]
-            for walker_id in guarded:
-                node = self.partition.owner_of(
-                    int(self.walkers.current[walker_id])
-                )
-                before = self.stats.full_scan_evaluations
-                if self._guard_walker(int(walker_id)):
-                    moved[np.searchsorted(walker_ids, walker_id)] = True
-                self._node_pd[node] += (
-                    self.stats.full_scan_evaluations - before
-                )
+            if guarded_lanes.size:
+                self._guard_lanes(walker_ids, guarded_lanes, moved)
+        return moved
+
+    def _guard_lanes(
+        self,
+        walker_ids: np.ndarray,
+        guarded_lanes: np.ndarray,
+        moved: np.ndarray,
+    ) -> None:
+        """Run the batch zero-mass guard on the given lanes and charge
+        the full-scan Pd evaluations to each walker's node.
+
+        ``guarded_lanes`` are positions into ``walker_ids`` (which
+        carries no ordering guarantee), and the guard always resolves a
+        walker, so every guarded lane is marked moved.
+        """
+        guarded_ids = walker_ids[guarded_lanes]
+        # Owners must be read before the guard moves the walkers.
+        nodes = self.partition.owners(self.walkers.current[guarded_ids])
+        evaluations = self._guard_batch(guarded_ids)
+        np.add.at(self._node_pd, nodes, evaluations)
+        moved[guarded_lanes] = True
+
+    def _distributed_multi_round(self, walker_ids: np.ndarray) -> np.ndarray:
+        """Fused multi-trial round for step-mode programs.
+
+        First-order dynamic programs resolve Pd locally — there is no
+        query exchange to pace — so the per-node compute runs the same
+        fused kernel as the local engine and only walker migrations hit
+        the network.  Per-node trial and Pd accounting uses the
+        kernel's per-walker consumption, so the cost model charges
+        exactly the work a sequential execution would have done.
+        """
+        graph = self.graph
+        walker_nodes = self.partition.owners(self.walkers.current[walker_ids])
+        outcome = batch_multi_trial_round(
+            graph,
+            self.tables,
+            self.program,
+            self.walkers,
+            walker_ids,
+            self.upper,
+            self.lower,
+            self._rng,
+            self.stats.counters,
+            num_trials=adaptive_trial_count(self.stats.counters),
+            validate_bounds=self.validate_bounds,
+            scratch=self._scratch,
+        )
+        np.add.at(self._node_trials, walker_nodes, outcome.trials_used)
+        np.add.at(self._node_pd, walker_nodes, outcome.pd_evaluations)
+
+        accepted, edges = outcome.accepted, outcome.edges
+        moved = accepted.copy()
+        if accepted.any():
+            movers = walker_ids[accepted]
+            new_vertices = graph.targets[edges[accepted]]
+            new_owners = self.partition.owners(new_vertices)
+            old_owners = walker_nodes[accepted]
+            migrated = self.network.record_batch(
+                MessageKind.WALKER_MIGRATE, old_owners, new_owners
+            )
+            np.add.at(self._node_msgs, old_owners, 1)
+            np.add.at(self._node_msgs, new_owners, 1)
+            self.stats.messages_sent += migrated
+            self.walkers.move(movers, new_vertices)
+            self._rejection_streak[movers] = 0
+            self.stats.total_steps += movers.size
+            if self._recorder is not None:
+                self._recorder.record_moves(movers, new_vertices)
+
+        stuck_lanes = np.flatnonzero(~accepted)
+        if stuck_lanes.size:
+            stuck = walker_ids[stuck_lanes]
+            self._rejection_streak[stuck] += outcome.trials_used[stuck_lanes]
+            guarded_lanes = stuck_lanes[
+                self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
+            ]
+            if guarded_lanes.size:
+                self._guard_lanes(walker_ids, guarded_lanes, moved)
         return moved

@@ -34,7 +34,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import WalkConfig
-from repro.core.kernels import batch_trial_round, full_scan_distribution
+from repro.core.kernels import (
+    KernelScratch,
+    adaptive_trial_count,
+    batch_multi_trial_round,
+    batch_trial_round,
+    full_scan_distribution,
+)
 from repro.core.program import WalkerProgram
 from repro.core.stats import WalkStats
 from repro.core.trace import PathRecorder, StreamingPathRecorder
@@ -94,6 +100,14 @@ class WalkEngine:
         envelope, raising :class:`~repro.errors.ProgramError` on the
         first violation (which would otherwise silently skew the
         sampled law).  Off by default for speed.
+    fuse_trials:
+        use the fused multi-trial kernel for step-mode dynamic
+        programs, speculating K trials per round with K adapted to the
+        running acceptance rate.  Trial-mode (second-order) pacing is
+        never fused — one trial per superstep there is a semantic, not
+        an inefficiency — and static programs pre-accept every first
+        dart, so speculation would be pure waste.  Off gives the
+        single-trial kernel, kept as the semantic reference.
     """
 
     def __init__(
@@ -104,6 +118,7 @@ class WalkEngine:
         use_lower_bound: bool = True,
         force_scalar: bool = False,
         validate_bounds: bool = False,
+        fuse_trials: bool = True,
     ) -> None:
         config = config if config is not None else WalkConfig()
         program.validate()
@@ -158,6 +173,14 @@ class WalkEngine:
         self.stats.init_time_seconds = time.perf_counter() - init_start
         # "trial" pacing for second-order programs, "step" otherwise.
         self.sync_mode = "trial" if program.order == 2 else "step"
+        self.fuse_trials = fuse_trials
+        self._fuse = (
+            fuse_trials
+            and self._batch
+            and program.dynamic
+            and self.sync_mode == "step"
+        )
+        self._scratch = KernelScratch() if self._fuse else None
         self._has_custom_continue = (
             type(program).should_continue is not WalkerProgram.should_continue
         )
@@ -301,7 +324,25 @@ class WalkEngine:
 
         Returns the per-walker moved mask (aligned with walker_ids).
         """
-        if self._batch:
+        trials_spent = None
+        if self._fuse:
+            outcome = batch_multi_trial_round(
+                self.graph,
+                self.tables,
+                self.program,
+                self.walkers,
+                walker_ids,
+                self.upper,
+                self.lower,
+                self._rng,
+                self.stats.counters,
+                num_trials=adaptive_trial_count(self.stats.counters),
+                validate_bounds=self.validate_bounds,
+                scratch=self._scratch,
+            )
+            accepted, edges = outcome.accepted, outcome.edges
+            trials_spent = outcome.trials_used
+        elif self._batch:
             outcome = batch_trial_round(
                 self.graph,
                 self.tables,
@@ -328,16 +369,97 @@ class WalkEngine:
             if self._recorder is not None:
                 self._recorder.record_moves(movers, targets)
 
-        stuck = walker_ids[~accepted]
-        if stuck.size:
-            self._rejection_streak[stuck] += 1
-            guarded = stuck[
+        stuck_lanes = np.flatnonzero(~accepted)
+        if stuck_lanes.size:
+            stuck = walker_ids[stuck_lanes]
+            # The streak advances by trials actually consumed, so the
+            # fused kernel (K trials per round) reaches the guard after
+            # the same trial budget as the single-trial kernel.
+            if trials_spent is None:
+                self._rejection_streak[stuck] += 1
+            else:
+                self._rejection_streak[stuck] += trials_spent[stuck_lanes]
+            # Positional indexing — walker_ids carries no ordering
+            # guarantee, so a sorted-array search would silently flag
+            # the wrong lane.
+            guarded_lanes = stuck_lanes[
                 self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
             ]
-            for walker_id in guarded:
-                if self._guard_walker(int(walker_id)):
-                    moved[np.searchsorted(walker_ids, walker_id)] = True
+            if guarded_lanes.size:
+                if self._batch:
+                    # The guard always resolves a walker (kill or an
+                    # exact move), so every guarded lane leaves the
+                    # pending set.
+                    self._guard_batch(walker_ids[guarded_lanes])
+                    moved[guarded_lanes] = True
+                else:
+                    for lane in guarded_lanes:
+                        if self._guard_walker(int(walker_ids[lane])):
+                            moved[lane] = True
         return moved
+
+    def _guard_batch(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorised zero-mass guard over several walkers at once.
+
+        Same semantics as :meth:`_guard_walker` — scan the full edge
+        span, terminate on zero eligible mass, otherwise move by an
+        exact draw from the scanned distribution — but the Pd values
+        come from one ``batch_dynamic_comp`` call over the concatenated
+        spans and the per-walker sampling is a global-CDF searchsorted,
+        so programs whose walkers hit the guard in bulk (Meta-path at
+        every scheme dead end) don't fall off the vectorised path.
+
+        Returns the per-walker Pd evaluation counts, which the
+        distributed engine attributes to each walker's node.
+        """
+        graph, walkers = self.graph, self.walkers
+        vertices = walkers.current[ids].astype(np.int64)
+        starts = graph.offsets[vertices].astype(np.int64)
+        counts = graph.offsets[vertices + 1].astype(np.int64) - starts
+        # Dead ends were filtered by Pe, so every span is non-empty.
+        boundaries = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=boundaries[1:])
+        flat_edges = np.repeat(starts - boundaries[:-1], counts) + np.arange(
+            boundaries[-1]
+        )
+        owner = np.repeat(np.arange(ids.size), counts)
+
+        static = self.tables.static_weights[flat_edges]
+        mass = np.zeros(flat_edges.size, dtype=np.float64)
+        positive = np.flatnonzero(static > 0.0)
+        evaluations = np.zeros(ids.size, dtype=np.int64)
+        if positive.size:
+            dynamic = self.program.batch_dynamic_comp(
+                graph, walkers, ids[owner[positive]], flat_edges[positive]
+            )
+            mass[positive] = static[positive] * dynamic
+            self.stats.full_scan_evaluations += positive.size
+            evaluations = np.bincount(owner[positive], minlength=ids.size)
+
+        running = np.cumsum(mass)
+        totals = np.add.reduceat(mass, boundaries[:-1])
+        dead = totals <= 0.0
+        if dead.any():
+            doomed = ids[dead]
+            walkers.kill(doomed)
+            self.stats.termination.by_dead_end += doomed.size
+            self._rejection_streak[doomed] = 0
+
+        live = np.flatnonzero(~dead)
+        if live.size:
+            live_ids = ids[live]
+            seg_start = boundaries[:-1][live]
+            base = np.where(seg_start > 0, running[seg_start - 1], 0.0)
+            draws = base + self._rng.random(live.size) * totals[live]
+            positions = np.searchsorted(running, draws, side="right")
+            positions = np.clip(positions, seg_start, boundaries[1:][live] - 1)
+            targets = graph.targets[flat_edges[positions]]
+            walkers.move(live_ids, targets)
+            self._rejection_streak[live_ids] = 0
+            self.stats.total_steps += live_ids.size
+            if self._recorder is not None:
+                self._recorder.record_moves(live_ids, targets)
+        return evaluations
 
     def _scalar_round(
         self, walker_ids: np.ndarray

@@ -93,6 +93,15 @@ class SamplingCounters:
     appendix_trials: int = 0
     accepts: int = 0
 
+    def acceptance_rate(self) -> float | None:
+        """Observed accepts/trials, or ``None`` before any trials.
+
+        The fused multi-trial kernel sizes its speculation from this
+        rate (see :func:`repro.core.kernels.adaptive_trial_count`)."""
+        if self.trials <= 0:
+            return None
+        return self.accepts / self.trials
+
     def merge(self, other: "SamplingCounters") -> None:
         self.trials += other.trials
         self.pd_evaluations += other.pd_evaluations

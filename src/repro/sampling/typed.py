@@ -60,33 +60,61 @@ class TypedVertexAliasTables:
         self._static = static_weights
         self.num_types = int(graph.edge_types.max()) + 1 if graph.num_edges else 0
 
-        # For each (vertex, type): the flat indices of matching edges,
-        # an alias table over their weights, and the total mass.
-        self._edges: dict[tuple[int, int], np.ndarray] = {}
-        self._prob: dict[tuple[int, int], np.ndarray] = {}
-        self._alias: dict[tuple[int, int], np.ndarray] = {}
-        self._totals = np.zeros(
-            (graph.num_vertices, max(self.num_types, 1)), dtype=np.float64
-        )
-        for vertex in range(graph.num_vertices):
-            start, end = graph.edge_range(vertex)
-            if start == end:
+        # Flat grouped layout: edges sorted by (vertex, type) so each
+        # group occupies one contiguous span of ``_flat_edges`` /
+        # ``_flat_prob`` / ``_flat_alias`` (alias entries are local to
+        # the span), with dense (|V| x T) start/count/total maps.  The
+        # dense maps make ``sample_batch`` a handful of gathers instead
+        # of a per-lane dict walk.
+        num_types = max(self.num_types, 1)
+        shape = (graph.num_vertices, num_types)
+        self._totals = np.zeros(shape, dtype=np.float64)
+        self._group_start = np.zeros(shape, dtype=np.int64)
+        self._group_count = np.zeros(shape, dtype=np.int64)
+
+        if graph.num_edges:
+            sources = np.repeat(
+                np.arange(graph.num_vertices, dtype=np.int64),
+                np.diff(graph.offsets),
+            )
+            keys = sources * num_types + graph.edge_types
+            # Stable sort keeps each group's edges in CSR order.
+            order = np.argsort(keys, kind="stable").astype(np.int64)
+            group_keys, group_firsts, group_sizes = np.unique(
+                keys[order], return_index=True, return_counts=True
+            )
+        else:
+            order = np.zeros(0, dtype=np.int64)
+            group_keys = group_firsts = group_sizes = np.zeros(0, dtype=np.int64)
+
+        flat_edges = []
+        flat_prob = []
+        flat_alias = []
+        cursor = 0
+        for key, first, size in zip(group_keys, group_firsts, group_sizes):
+            edges = order[first : first + size]
+            weights = static_weights[edges]
+            total = float(weights.sum())
+            if total <= 0:
                 continue
-            types_here = graph.edge_types[start:end]
-            for edge_type in np.unique(types_here):
-                edge_type = int(edge_type)
-                local = np.flatnonzero(types_here == edge_type)
-                edges = start + local
-                weights = static_weights[edges]
-                total = float(weights.sum())
-                if total <= 0:
-                    continue
-                prob, alias = build_alias_arrays(weights)
-                key = (vertex, edge_type)
-                self._edges[key] = edges
-                self._prob[key] = prob
-                self._alias[key] = alias
-                self._totals[vertex, edge_type] = total
+            prob, alias = build_alias_arrays(weights)
+            vertex, edge_type = divmod(int(key), num_types)
+            flat_edges.append(edges)
+            flat_prob.append(prob)
+            flat_alias.append(alias)
+            self._totals[vertex, edge_type] = total
+            self._group_start[vertex, edge_type] = cursor
+            self._group_count[vertex, edge_type] = size
+            cursor += size
+
+        if flat_edges:
+            self._flat_edges = np.concatenate(flat_edges)
+            self._flat_prob = np.concatenate(flat_prob)
+            self._flat_alias = np.concatenate(flat_alias).astype(np.int64)
+        else:
+            self._flat_edges = np.zeros(0, dtype=np.int64)
+            self._flat_prob = np.zeros(0, dtype=np.float64)
+            self._flat_alias = np.zeros(0, dtype=np.int64)
 
     @property
     def graph(self) -> CSRGraph:
@@ -99,7 +127,7 @@ class TypedVertexAliasTables:
     def total_entries(self) -> int:
         """Total table entries — O(|E|), the paper's point that typed
         partitioning adds no pre-processing overhead."""
-        return sum(edges.size for edges in self._edges.values())
+        return int(self._flat_edges.size)
 
     def has_type(self, vertex: int, edge_type: int) -> bool:
         """Whether ``vertex`` has positive-mass edges of ``edge_type``."""
@@ -120,18 +148,16 @@ class TypedVertexAliasTables:
         Raises :class:`SamplingError` when the vertex has no eligible
         edges — the caller terminates the walk, as with any dead end.
         """
-        key = (vertex, edge_type)
-        edges = self._edges.get(key)
-        if edges is None:
+        if not self.has_type(vertex, edge_type):
             raise SamplingError(
                 f"vertex {vertex} has no edges of type {edge_type}"
             )
-        prob = self._prob[key]
-        alias = self._alias[key]
-        bucket = int(rng.integers(0, edges.size))
-        if rng.random() < prob[bucket]:
-            return int(edges[bucket])
-        return int(edges[alias[bucket]])
+        start = int(self._group_start[vertex, edge_type])
+        count = int(self._group_count[vertex, edge_type])
+        bucket = int(rng.integers(0, count))
+        if rng.random() < self._flat_prob[start + bucket]:
+            return int(self._flat_edges[start + bucket])
+        return int(self._flat_edges[start + self._flat_alias[start + bucket]])
 
     def sample_batch(
         self,
@@ -139,14 +165,31 @@ class TypedVertexAliasTables:
         edge_types: np.ndarray,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Vectorised-API batch draw; -1 where no eligible edge exists.
+        """Vectorised batch draw; -1 where no eligible edge exists.
 
-        Internally scalar per lane (the dict-of-tables layout does not
-        vectorise), which is fine for the ablation baseline role.
+        Out-of-range types (a meta-path scheme can demand a type the
+        graph never assigned) count as "no eligible edge", matching the
+        scalar path's behaviour rather than raising.
         """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        edge_types = np.asarray(edge_types, dtype=np.int64)
         results = np.full(vertices.size, -1, dtype=np.int64)
-        for lane in range(vertices.size):
-            key = (int(vertices[lane]), int(edge_types[lane]))
-            if key in self._edges:
-                results[lane] = self.sample(key[0], key[1], rng)
+        if vertices.size == 0:
+            return results
+        valid = (edge_types >= 0) & (edge_types < self._totals.shape[1])
+        counts = np.zeros(vertices.size, dtype=np.int64)
+        counts[valid] = self._group_count[vertices[valid], edge_types[valid]]
+        lanes = np.flatnonzero(counts > 0)
+        if lanes.size == 0:
+            return results
+        starts = self._group_start[vertices[lanes], edge_types[lanes]]
+        buckets = rng.integers(0, counts[lanes])
+        coins = rng.random(lanes.size)
+        positions = starts + buckets
+        local = np.where(
+            coins < self._flat_prob[positions],
+            buckets,
+            self._flat_alias[positions],
+        )
+        results[lanes] = self._flat_edges[starts + local]
         return results

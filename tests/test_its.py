@@ -108,6 +108,57 @@ class TestSampleFromCDF:
             its_sample_from_cdf(np.zeros(3), np.random.default_rng(0))
 
 
+class TestGlobalCDFMatchesStepped:
+    """The global-searchsorted ``sample_batch`` against the lane-stepped
+    reference search it replaced (satellite of the kernel-fusion PR)."""
+
+    def test_edge_for_edge_agreement_fixed_seed(self):
+        from repro.graph.builder import assign_random_weights
+        from repro.graph.generators import uniform_degree_graph
+
+        graph = uniform_degree_graph(200, 8, seed=3, undirected=True)
+        graph = assign_random_weights(graph, seed=4)
+        tables = VertexITSTables(graph)
+        vertices = np.random.default_rng(10).integers(0, 200, size=50_000)
+        # Both implementations consume exactly one rng.random(n) call,
+        # so identical seeds must give identical draws and — up to the
+        # shared clamping rule — identical edges.
+        new = tables.sample_batch(vertices, np.random.default_rng(9))
+        old = tables._sample_batch_stepped(vertices, np.random.default_rng(9))
+        np.testing.assert_array_equal(new, old)
+
+    def test_edge_for_edge_agreement_unweighted(self):
+        graph = diamond_graph()
+        tables = VertexITSTables(graph)
+        vertices = np.random.default_rng(11).integers(0, 4, size=20_000)
+        new = tables.sample_batch(vertices, np.random.default_rng(12))
+        old = tables._sample_batch_stepped(vertices, np.random.default_rng(12))
+        np.testing.assert_array_equal(new, old)
+
+    def test_same_error_on_dead_end(self):
+        graph = from_edges(3, [(0, 1)])
+        tables = VertexITSTables(graph)
+        for method in (tables.sample_batch, tables._sample_batch_stepped):
+            with pytest.raises(SamplingError, match="no out-edges"):
+                method(np.array([0, 2]), np.random.default_rng(13))
+
+    def test_same_error_on_all_zero_distribution(self):
+        graph = from_edges(2, [(0, 1)])
+        tables = VertexITSTables(graph, np.array([0.0]))
+        for method in (tables.sample_batch, tables._sample_batch_stepped):
+            with pytest.raises(SamplingError, match="all-zero"):
+                method(np.array([0]), np.random.default_rng(14))
+
+    def test_dead_end_reported_before_zero_mass(self):
+        # A batch containing both failure modes reports the dead end,
+        # matching the reference implementation's check order.
+        graph = from_edges(3, [(0, 1)])
+        tables = VertexITSTables(graph, np.array([0.0]))
+        for method in (tables.sample_batch, tables._sample_batch_stepped):
+            with pytest.raises(SamplingError, match="no out-edges"):
+                method(np.array([0, 2]), np.random.default_rng(15))
+
+
 def test_its_and_alias_agree():
     """Both static samplers draw from the same law."""
     from repro.sampling.alias import VertexAliasTables

@@ -1,0 +1,40 @@
+"""Smoke tests for the tracked steps-per-second benchmark harness."""
+
+import json
+
+from repro.bench.perf import (
+    PERF_WORKLOADS,
+    format_report,
+    run_perf,
+    write_report,
+)
+
+
+def test_quick_report_roundtrip(tmp_path):
+    report = run_perf(quick=True)
+    assert report["quick"] is True
+    assert set(report["workloads"]) == {w.name for w in PERF_WORKLOADS}
+    for entry in report["workloads"].values():
+        assert entry["steps"] > 0
+        assert entry["steps_per_sec"] > 0
+        assert entry["single_trial_steps_per_sec"] > 0
+    # The fused kernel engages exactly on the step-paced dynamic
+    # workload; node2vec is trial-paced and DeepWalk static.
+    assert report["workloads"]["metapath"]["fused"] is True
+    assert report["workloads"]["node2vec"]["fused"] is False
+    assert report["workloads"]["deepwalk"]["fused"] is False
+    assert (
+        report["workloads"]["metapath"]["fused_speedup_vs_single_trial"]
+        is not None
+    )
+    assert report["workloads"]["deepwalk"]["fused_speedup_vs_single_trial"] is None
+    # Quick numbers must never be compared against the full-run
+    # pre-PR reference.
+    assert "speedup_vs_pre_pr" not in report["workloads"]["node2vec"]
+
+    path = write_report(report, tmp_path / "BENCH_walks.json")
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded == report
+
+    text = format_report(report)
+    assert "metapath" in text and "steps/sec" in text

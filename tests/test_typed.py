@@ -87,6 +87,49 @@ class TestTypedTables:
         )
         assert edges[1] == -1
 
+    def test_sample_batch_marks_negative_type(self, typed_graph):
+        tables = TypedVertexAliasTables(typed_graph)
+        edges = tables.sample_batch(
+            np.array([0]), np.array([-1]), np.random.default_rng(4)
+        )
+        assert edges[0] == -1
+
+    def test_sample_batch_distribution_matches_scalar(self):
+        """The vectorised batch draw samples each (vertex, type)
+        group's law — checked against the same weighted partition the
+        scalar test uses."""
+        graph = from_edges(
+            5, [(0, 1, 1.0), (0, 2, 3.0), (0, 3, 2.0), (0, 4, 5.0)]
+        )
+        from repro.graph.csr import CSRGraph
+
+        typed = CSRGraph(
+            graph.offsets,
+            graph.targets,
+            weights=graph.weights,
+            edge_types=np.array([0, 0, 1, 1], dtype=np.int32),
+        )
+        tables = TypedVertexAliasTables(typed)
+        rng = np.random.default_rng(6)
+        half = 20_000
+        vertices = np.zeros(2 * half, dtype=np.int64)
+        types = np.repeat([0, 1], half)
+        edges = tables.sample_batch(vertices, types, rng)
+        assert np.all(edges >= 0)
+        assert_matches_distribution(edges[:half], np.array([1.0, 3.0, 0, 0]))
+        assert_matches_distribution(
+            edges[half:] - 2, np.array([2.0, 5.0])
+        )
+
+    def test_sample_batch_empty(self, typed_graph):
+        tables = TypedVertexAliasTables(typed_graph)
+        edges = tables.sample_batch(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.random.default_rng(4),
+        )
+        assert edges.size == 0
+
 
 class TestTypedMetaPathEngine:
     def test_rejects_non_metapath_programs(self, typed_graph):
