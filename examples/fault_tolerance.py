@@ -1,0 +1,76 @@
+"""Fault-tolerant distributed walking: chaos with receipts.
+
+Runs the same node2vec workload twice on the 4-node cluster simulator —
+once on a healthy cluster, once under a hostile fault plan (a node
+crash mid-walk plus message drops, duplicates, and delays on every
+protocol message) — and shows the engine's two guarantees:
+
+* the *walk is unchanged*: reliable delivery plus checkpoint/replay
+  recovery make the faulty run bit-identical to the healthy one, and
+* the *cost is itemised*: retransmissions, dedup discards, checkpoints,
+  and replayed supersteps all land on the simulated-time bill.
+
+Run with:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro import WalkConfig
+from repro.algorithms import Node2Vec
+from repro.cluster import (
+    DistributedWalkEngine,
+    FaultPlan,
+    MessageFaults,
+    NodeCrash,
+)
+from repro.graph import twitter_like
+
+NUM_NODES = 4
+
+
+def run(graph, config, fault_plan=None):
+    engine = DistributedWalkEngine(
+        graph,
+        Node2Vec(p=2.0, q=0.5, biased=False),
+        config,
+        num_nodes=NUM_NODES,
+        fault_plan=fault_plan,
+        checkpoint_every=6 if fault_plan is not None else None,
+    )
+    return engine.run()
+
+
+def main() -> None:
+    graph = twitter_like(scale=0.05)
+    config = WalkConfig(num_walkers=400, max_steps=30, record_paths=True, seed=7)
+    print(f"graph: {graph} on {NUM_NODES} simulated nodes")
+
+    plan = FaultPlan(
+        seed=23,
+        crashes=(NodeCrash(superstep=5, node=1),),
+        default_faults=MessageFaults(drop=0.08, duplicate=0.04, delay=0.03),
+    )
+    healthy = run(graph, config)
+    chaotic = run(graph, config, fault_plan=plan)
+
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(healthy.paths, chaotic.paths)
+    )
+    print(f"\nwalks bit-identical under faults: {identical}")
+    chaotic.cluster.delivery.check_conservation()
+    print("delivery conservation laws: OK (exactly-once migration)")
+
+    print("\nhealthy run")
+    print("  " + healthy.cluster.report().replace("\n", "\n  "))
+    print("chaotic run")
+    print("  " + chaotic.cluster.report().replace("\n", "\n  "))
+
+    overhead = (
+        chaotic.cluster.simulated_seconds / healthy.cluster.simulated_seconds
+        - 1.0
+    )
+    print(f"\nrobustness bill: +{overhead:.1%} simulated time")
+
+
+if __name__ == "__main__":
+    main()

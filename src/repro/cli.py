@@ -32,7 +32,12 @@ from repro.algorithms import (
     UniformWalk,
     random_schemes,
 )
-from repro.cluster import DistributedWalkEngine
+from repro.cluster import (
+    DistributedWalkEngine,
+    FaultPlan,
+    MessageFaults,
+    NodeCrash,
+)
 from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
 from repro.errors import ReproError
@@ -93,6 +98,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="stream the walk corpus to this file (constant memory)",
     )
+    faults = walk.add_argument_group(
+        "fault injection (require --nodes > 0)"
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault RNG stream (separate from --seed)",
+    )
+    faults.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-transmission message drop probability",
+    )
+    faults.add_argument(
+        "--duplicate", type=float, default=0.0,
+        help="per-transmission message duplication probability",
+    )
+    faults.add_argument(
+        "--delay-rate", type=float, default=0.0,
+        help="probability a message arrives after the sender's timeout",
+    )
+    faults.add_argument(
+        "--crash", action="append", default=[], metavar="SUPERSTEP:NODE[:dead]",
+        help="crash NODE at SUPERSTEP; ':dead' keeps it down (repeatable)",
+    )
+    faults.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="recovery-checkpoint cadence in supersteps (0 disables)",
+    )
+    faults.add_argument(
+        "--degrade", action="store_true",
+        help="re-partition a permanently dead node's vertices across "
+        "survivors instead of aborting",
+    )
 
     bench = subparsers.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument("experiment", choices=EXPERIMENTS)
@@ -141,6 +178,34 @@ def _build_program(args: argparse.Namespace, graph):
     raise ReproError(f"unknown algorithm {args.algorithm!r}")
 
 
+def _parse_crash(spec: str) -> NodeCrash:
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or (len(parts) == 3 and parts[2] != "dead"):
+        raise ReproError(
+            f"bad --crash {spec!r}: expected SUPERSTEP:NODE or "
+            "SUPERSTEP:NODE:dead"
+        )
+    try:
+        superstep, node = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise ReproError(f"bad --crash {spec!r}: {exc}") from exc
+    return NodeCrash(superstep=superstep, node=node, restart=len(parts) == 2)
+
+
+def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    rates = MessageFaults(
+        drop=args.drop, duplicate=args.duplicate, delay=args.delay_rate
+    )
+    crashes = tuple(_parse_crash(spec) for spec in args.crash)
+    if not rates.active and not crashes:
+        return None
+    if args.nodes <= 0:
+        raise ReproError("fault injection requires --nodes > 0")
+    return FaultPlan(
+        seed=args.fault_seed, crashes=crashes, default_faults=rates
+    )
+
+
 def _run_walk(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     program, graph = _build_program(args, graph)
@@ -155,19 +220,23 @@ def _run_walk(args: argparse.Namespace) -> int:
         stream_paths_to=args.output,
     )
 
+    fault_plan = _build_fault_plan(args)
+
     print(f"graph: {graph}")
     print(f"algorithm: {program!r}")
     if args.nodes > 0:
         engine = DistributedWalkEngine(
-            graph, program, config, num_nodes=args.nodes
+            graph,
+            program,
+            config,
+            num_nodes=args.nodes,
+            fault_plan=fault_plan,
+            checkpoint_every=args.checkpoint_every,
+            degrade_on_crash=args.degrade,
         )
         result = engine.run()
         print(f"stats: {result.stats.summary()}")
-        print(
-            f"cluster: {result.cluster.num_supersteps} supersteps, "
-            f"{result.cluster.simulated_seconds:.4f}s simulated, "
-            f"{result.cluster.network.total_messages()} messages"
-        )
+        print(result.cluster.report())
     else:
         result = WalkEngine(graph, program, config).run()
         print(f"stats: {result.stats.summary()}")

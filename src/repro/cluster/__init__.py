@@ -9,14 +9,26 @@ cost model.  See DESIGN.md for the substitution rationale.
 
 from repro.cluster.cost_model import CostModel, NodeWork
 from repro.cluster.engine import (
+    DEFAULT_CHECKPOINT_INTERVAL,
     ClusterStats,
     DistributedWalkEngine,
     DistributedWalkResult,
 )
+from repro.cluster.faults import (
+    DeliveryCounters,
+    DeliveryStats,
+    FaultPlan,
+    FaultPlane,
+    MessageFaults,
+    NodeCrash,
+    random_fault_plan,
+)
 from repro.cluster.network import MessageKind, Network
+from repro.cluster.recovery import RecoveryStats
 from repro.cluster.scheduler import (
     LIGHT_MODE_THREADS,
     LIGHT_MODE_THRESHOLD,
+    RetryPolicy,
     ThreadPolicy,
 )
 
@@ -29,6 +41,16 @@ __all__ = [
     "Network",
     "MessageKind",
     "ThreadPolicy",
+    "RetryPolicy",
     "LIGHT_MODE_THRESHOLD",
     "LIGHT_MODE_THREADS",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "FaultPlan",
+    "FaultPlane",
+    "MessageFaults",
+    "NodeCrash",
+    "DeliveryCounters",
+    "DeliveryStats",
+    "RecoveryStats",
+    "random_fault_plan",
 ]

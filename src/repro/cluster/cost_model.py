@@ -68,6 +68,15 @@ class CostModel:
         fixed per-superstep BSP synchronisation cost per node.
     comm_threads:
         threads dedicated to message passing (2 in the paper).
+    backoff_unit_cost:
+        one retransmission-timeout unit of waiting — the latency a
+        retry chain adds to its superstep's communication phase
+        (reliable delivery under injected faults).
+    checkpoint_cost_per_walker:
+        serialising one walker's dynamic state into a recovery
+        checkpoint (charged to the superstep that takes it).
+    restore_cost_per_walker:
+        reloading one walker's state while recovering from a crash.
     """
 
     trial_cost: float = 8e-8
@@ -76,6 +85,9 @@ class CostModel:
     thread_overhead: float = 4e-6
     barrier_cost: float = 2e-6
     comm_threads: int = 2
+    backoff_unit_cost: float = 2e-6
+    checkpoint_cost_per_walker: float = 5e-8
+    restore_cost_per_walker: float = 1e-7
 
     def node_time(self, work: NodeWork, threads: int) -> float:
         """Simulated time one node spends on one superstep."""
@@ -99,3 +111,15 @@ class CostModel:
             self.node_time(work, threads)
             for work, threads in zip(per_node_work, per_node_threads)
         )
+
+    def retry_latency(self, backoff_units: float) -> float:
+        """Time the superstep's deepest retransmission chain adds."""
+        return backoff_units * self.backoff_unit_cost
+
+    def checkpoint_time(self, num_walkers: int) -> float:
+        """Cost of taking one recovery checkpoint."""
+        return num_walkers * self.checkpoint_cost_per_walker
+
+    def restore_time(self, num_walkers: int) -> float:
+        """Cost of restoring engine state after a node crash."""
+        return num_walkers * self.restore_cost_per_walker

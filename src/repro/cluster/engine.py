@@ -26,6 +26,15 @@ Straggler-aware scheduling (section 6.2) is modelled through
 :class:`~repro.cluster.scheduler.ThreadPolicy`: a node whose active
 walker count falls under the threshold drops to three threads,
 shrinking its per-superstep thread overhead.
+
+Fault tolerance (see :mod:`repro.cluster.faults` and
+:mod:`repro.cluster.recovery`): given a :class:`FaultPlan`, every
+remote message batch runs through seeded faulty delivery with
+retransmission and dedup, the engine checkpoints its dynamic state
+every K supersteps, and injected node crashes are recovered by
+restoring the lost shard from the last checkpoint and replaying —
+or, in degraded mode, by re-partitioning a permanently dead node's
+vertices across the survivors.
 """
 
 from __future__ import annotations
@@ -36,16 +45,36 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.cost_model import CostModel, NodeWork
+from repro.cluster.faults import DeliveryStats, FaultPlan, FaultPlane, NodeCrash
 from repro.cluster.network import MessageKind, Network
-from repro.cluster.scheduler import ThreadPolicy
+from repro.cluster.recovery import (
+    ClusterCheckpoint,
+    RecoveryStats,
+    capture_cluster_state,
+    reassign_dead_vertices,
+    restore_cluster_state,
+)
+from repro.cluster.scheduler import RetryPolicy, ThreadPolicy
 from repro.core.config import WalkConfig
 from repro.core.engine import ZERO_MASS_GUARD_TRIALS, WalkEngine, WalkResult
 from repro.core.kernels import adaptive_trial_count, batch_multi_trial_round
 from repro.core.program import WalkerProgram
+from repro.errors import FaultError, NodeCrashError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import ContiguousPartition, partition_graph
 
-__all__ = ["DistributedWalkEngine", "ClusterStats", "DistributedWalkResult"]
+__all__ = [
+    "DistributedWalkEngine",
+    "ClusterStats",
+    "DistributedWalkResult",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+]
+
+# Checkpoint cadence (supersteps) when fault tolerance is on and the
+# caller did not choose one.  Small K replays little on a crash but
+# pays checkpoint cost often; the INTERNALS.md section discusses the
+# trade-off.
+DEFAULT_CHECKPOINT_INTERVAL = 8
 
 
 @dataclass
@@ -62,10 +91,48 @@ class ClusterStats:
     trials_per_node: np.ndarray | None = None
     pd_evaluations_per_node: np.ndarray | None = None
     walker_supersteps_per_node: np.ndarray | None = None
+    # Fault-tolerance accounting (always present; all-zero on healthy
+    # runs) and physical-layer delivery counters (None without a plan).
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    delivery: DeliveryStats | None = None
 
     @property
     def num_supersteps(self) -> int:
         return len(self.superstep_times)
+
+    def report(self) -> str:
+        """Multi-line run report including the robustness bill."""
+        lines = [
+            f"cluster: {self.num_nodes} nodes, {self.num_supersteps} "
+            f"supersteps, {self.simulated_seconds:.4f}s simulated"
+        ]
+        if self.network is not None:
+            lines.append(
+                f"network: {self.network.total_messages()} remote messages, "
+                f"{self.network.total_bytes()} bytes, "
+                f"{self.network.local_deliveries()} local deliveries"
+            )
+        if self.delivery is not None:
+            lines.append(
+                f"delivery: {self.delivery.retransmissions} retransmissions, "
+                f"{self.delivery.dedups} dedups "
+                f"(injected: {self.delivery.drops} drops, "
+                f"{self.delivery.duplicates} duplicates, "
+                f"{self.delivery.delays} delays)"
+            )
+        recovery = self.recovery
+        lines.append(
+            f"recovery: {recovery.crashes} crashes, "
+            f"{recovery.checkpoints_taken} checkpoints taken, "
+            f"{recovery.replayed_supersteps} supersteps replayed, "
+            f"{recovery.recovery_seconds:.4f}s recovering"
+            + (
+                f", degraded nodes {recovery.degraded_nodes}"
+                if recovery.degraded_nodes
+                else ""
+            )
+        )
+        return "\n".join(lines)
 
     def compute_balance(self) -> float:
         """max/mean of per-node processing load (trials + Pd
@@ -99,6 +166,22 @@ class DistributedWalkEngine(WalkEngine):
         mode on (the paper's configuration).
     cost_model:
         converts counted work into simulated seconds.
+    fault_plan:
+        seeded fault injection (crashes + message faults); ``None``
+        simulates a healthy cluster with zero overhead.
+    retry_policy:
+        timeout/backoff configuration of the reliable-delivery layer
+        (only meaningful with a fault plan).
+    checkpoint_every:
+        recovery-checkpoint cadence K in supersteps.  ``None`` picks
+        :data:`DEFAULT_CHECKPOINT_INTERVAL` when a fault plan is given
+        (falling back to ``config.checkpoint_every`` if set); ``0``
+        disables checkpointing — a node crash then aborts the run with
+        :class:`~repro.errors.NodeCrashError`.
+    degrade_on_crash:
+        how to treat a crash with ``restart=False``: re-partition the
+        dead node's vertices across survivors and continue (True), or
+        abort (False, the default).
     """
 
     def __init__(
@@ -112,6 +195,10 @@ class DistributedWalkEngine(WalkEngine):
         use_lower_bound: bool = True,
         validate_bounds: bool = False,
         fuse_trials: bool = True,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        checkpoint_every: int | None = None,
+        degrade_on_crash: bool = False,
     ) -> None:
         super().__init__(
             graph,
@@ -127,22 +214,54 @@ class DistributedWalkEngine(WalkEngine):
             thread_policy if thread_policy is not None else ThreadPolicy()
         )
         self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.network = Network(num_nodes)
+        self.fault_plan = fault_plan
+        self.fault_plane = (
+            FaultPlane(fault_plan, num_nodes, retry_policy)
+            if fault_plan is not None
+            else None
+        )
+        self.network = Network(num_nodes, fault_plane=self.fault_plane)
+        if checkpoint_every is None:
+            checkpoint_every = self.config.checkpoint_every
+        if checkpoint_every is None and fault_plan is not None:
+            checkpoint_every = DEFAULT_CHECKPOINT_INTERVAL
+        # 0 (or None) means no checkpoints are ever taken.
+        self.checkpoint_every = checkpoint_every if checkpoint_every else None
+        self.degrade_on_crash = degrade_on_crash
+        if (
+            fault_plan is not None
+            and fault_plan.has_crashes
+            and self._streaming
+        ):
+            raise FaultError(
+                "crash recovery cannot rewind streamed paths; use "
+                "record_paths or disable path output under a crash plan"
+            )
         self.cluster = ClusterStats(
             num_nodes=num_nodes,
             network=self.network,
             trials_per_node=np.zeros(num_nodes, dtype=np.int64),
             pd_evaluations_per_node=np.zeros(num_nodes, dtype=np.int64),
             walker_supersteps_per_node=np.zeros(num_nodes, dtype=np.int64),
+            delivery=self.fault_plane.stats if self.fault_plane else None,
         )
         # Per-superstep, per-node work accumulators.
         self._node_trials = np.zeros(num_nodes, dtype=np.int64)
         self._node_pd = np.zeros(num_nodes, dtype=np.int64)
         self._node_msgs = np.zeros(num_nodes, dtype=np.int64)
+        # Fault-tolerance runtime state.
+        self._alive_nodes = np.ones(num_nodes, dtype=bool)
+        self._owner_lookup: np.ndarray | None = None
+        self._checkpoint: ClusterCheckpoint | None = None
+        self._executed_supersteps = 0
 
     # ------------------------------------------------------------------
     def run(self, max_iterations: int | None = None) -> DistributedWalkResult:
         loop_start = time.perf_counter()
+        if self.checkpoint_every is not None and self._checkpoint is None:
+            # Recovery point zero: a crash before the first periodic
+            # checkpoint replays from the initial state.
+            self._take_checkpoint()
         executed = 0
         while self.walkers.num_active and (
             max_iterations is None or executed < max_iterations
@@ -152,7 +271,7 @@ class DistributedWalkEngine(WalkEngine):
         self.stats.wall_time_seconds += time.perf_counter() - loop_start
         self.cluster.simulated_seconds = float(
             np.sum(self.cluster.superstep_times)
-        )
+        ) + self.cluster.recovery.recovery_seconds
         paths = None
         if self._recorder is not None:
             if self._streaming:
@@ -168,7 +287,18 @@ class DistributedWalkEngine(WalkEngine):
         )
 
     # ------------------------------------------------------------------
+    def _owners(self, vertices: np.ndarray) -> np.ndarray:
+        """Owning node per vertex, honouring any degraded-mode overlay
+        that re-homed a dead node's range onto the survivors."""
+        if self._owner_lookup is not None:
+            return self._owner_lookup[vertices]
+        return self.partition.owners(vertices)
+
+    # ------------------------------------------------------------------
     def _superstep(self) -> None:
+        if self.fault_plane is not None:
+            for crash in self.fault_plane.crashes_at(self._executed_supersteps):
+                self._handle_crash(crash)
         active = self.walkers.active_ids()
         self.stats.active_per_iteration.append(active.size)
         self.stats.iterations += 1
@@ -176,7 +306,7 @@ class DistributedWalkEngine(WalkEngine):
         self._node_pd[:] = 0
         self._node_msgs[:] = 0
         active_per_node = np.bincount(
-            self.partition.owners(self.walkers.current[active]),
+            self._owners(self.walkers.current[active]),
             minlength=self.num_nodes,
         )
 
@@ -204,8 +334,8 @@ class DistributedWalkEngine(WalkEngine):
         self, walker_ids: np.ndarray, targets: np.ndarray
     ) -> None:
         """Teleports migrate walkers like ordinary moves do."""
-        old_owners = self.partition.owners(self.walkers.current[walker_ids])
-        new_owners = self.partition.owners(targets)
+        old_owners = self._owners(self.walkers.current[walker_ids])
+        new_owners = self._owners(targets)
         migrated = self.network.record_batch(
             MessageKind.WALKER_MIGRATE, old_owners, new_owners
         )
@@ -219,9 +349,19 @@ class DistributedWalkEngine(WalkEngine):
         self.cluster.trials_per_node += self._node_trials
         self.cluster.pd_evaluations_per_node += self._node_pd
         self.cluster.walker_supersteps_per_node += active_per_node
+        retry_latency = 0.0
+        if self.fault_plane is not None:
+            # Physical-layer overhead: retransmission sends and dedup
+            # discards are real message handling for their nodes, and
+            # the deepest retry chain stretches the barrier.
+            overhead, backoff_units = self.fault_plane.drain_superstep()
+            self._node_msgs += overhead
+            retry_latency = self.cost_model.retry_latency(backoff_units)
         works = []
         threads = []
         for node in range(self.num_nodes):
+            if not self._alive_nodes[node]:
+                continue  # a degraded-away node pays nothing further
             works.append(
                 NodeWork(
                     trials=int(self._node_trials[node]),
@@ -237,7 +377,73 @@ class DistributedWalkEngine(WalkEngine):
             if node_threads < self.thread_policy.full_threads:
                 self.cluster.light_mode_node_supersteps += 1
         self.cluster.superstep_times.append(
-            self.cost_model.superstep_time(works, threads)
+            self.cost_model.superstep_time(works, threads) + retry_latency
+        )
+        self._executed_supersteps += 1
+        if (
+            self.checkpoint_every is not None
+            and self.stats.iterations % self.checkpoint_every == 0
+        ):
+            self._take_checkpoint()
+            # The checkpoint is taken inside the barrier it follows.
+            self.cluster.superstep_times[-1] += self.cost_model.checkpoint_time(
+                self.walkers.num_walkers
+            )
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self) -> None:
+        self._checkpoint = capture_cluster_state(self)
+        self.cluster.recovery.checkpoints_taken += 1
+
+    def _handle_crash(self, crash: NodeCrash) -> None:
+        """Recover from one injected node failure.
+
+        The crashed node's walker shard is gone; recovery restores the
+        last checkpoint and replays the supersteps since (the replay is
+        bit-identical — the walk RNG is part of the checkpoint).  A
+        non-restarting crash additionally removes the node: in degraded
+        mode its vertices are re-partitioned across survivors,
+        otherwise the run aborts.
+        """
+        node = crash.node
+        if node >= self.num_nodes or not self._alive_nodes[node]:
+            return  # nothing left to kill
+        recovery = self.cluster.recovery
+        recovery.crashes += 1
+        if self._checkpoint is None:
+            raise NodeCrashError(
+                f"node {node} crashed at superstep "
+                f"{self._executed_supersteps} with checkpointing disabled"
+            )
+        if crash.restart:
+            recovery.restarts += 1
+        elif self.degrade_on_crash:
+            self._alive_nodes[node] = False
+            if not self._alive_nodes.any():
+                raise NodeCrashError(
+                    "last surviving node crashed; nothing to degrade onto"
+                )
+            self._owner_lookup = reassign_dead_vertices(
+                self.partition,
+                self._owner_lookup,
+                node,
+                self._alive_nodes,
+                self.graph.num_vertices,
+            )
+            recovery.degraded_nodes.append(node)
+        else:
+            raise NodeCrashError(
+                f"node {node} crashed permanently at superstep "
+                f"{self._executed_supersteps} (degrade_on_crash is off)"
+            )
+        recovery.replayed_supersteps += (
+            self.stats.iterations - self._checkpoint.iterations
+        )
+        restore_cluster_state(self, self._checkpoint)
+        recovery.recovery_seconds += self.cost_model.restore_time(
+            self.walkers.num_walkers
         )
 
     # ------------------------------------------------------------------
@@ -250,7 +456,7 @@ class DistributedWalkEngine(WalkEngine):
         counters = self.stats.counters
         count = walker_ids.size
         vertices = walkers.current[walker_ids]
-        walker_nodes = self.partition.owners(vertices)
+        walker_nodes = self._owners(vertices)
         upper = self.upper[vertices]
         lower = self.lower[vertices]
         main_area = self.tables.totals[vertices] * upper
@@ -327,7 +533,7 @@ class DistributedWalkEngine(WalkEngine):
                 )
                 query_lanes = np.flatnonzero(targets >= 0)
                 if query_lanes.size:
-                    owners = self.partition.owners(targets[query_lanes])
+                    owners = self._owners(targets[query_lanes])
                     senders = walker_nodes[pd_lanes[query_lanes]]
                     self.network.record_batch(
                         MessageKind.STATE_QUERY, senders, owners
@@ -381,7 +587,7 @@ class DistributedWalkEngine(WalkEngine):
         if accepted.any():
             movers = walker_ids[accepted]
             new_vertices = graph.targets[edges[accepted]]
-            new_owners = self.partition.owners(new_vertices)
+            new_owners = self._owners(new_vertices)
             old_owners = walker_nodes[accepted]
             migrated = self.network.record_batch(
                 MessageKind.WALKER_MIGRATE, old_owners, new_owners
@@ -421,7 +627,7 @@ class DistributedWalkEngine(WalkEngine):
         """
         guarded_ids = walker_ids[guarded_lanes]
         # Owners must be read before the guard moves the walkers.
-        nodes = self.partition.owners(self.walkers.current[guarded_ids])
+        nodes = self._owners(self.walkers.current[guarded_ids])
         evaluations = self._guard_batch(guarded_ids)
         np.add.at(self._node_pd, nodes, evaluations)
         moved[guarded_lanes] = True
@@ -437,7 +643,7 @@ class DistributedWalkEngine(WalkEngine):
         exactly the work a sequential execution would have done.
         """
         graph = self.graph
-        walker_nodes = self.partition.owners(self.walkers.current[walker_ids])
+        walker_nodes = self._owners(self.walkers.current[walker_ids])
         outcome = batch_multi_trial_round(
             graph,
             self.tables,
@@ -460,7 +666,7 @@ class DistributedWalkEngine(WalkEngine):
         if accepted.any():
             movers = walker_ids[accepted]
             new_vertices = graph.targets[edges[accepted]]
-            new_owners = self.partition.owners(new_vertices)
+            new_owners = self._owners(new_vertices)
             old_owners = walker_nodes[accepted]
             migrated = self.network.record_batch(
                 MessageKind.WALKER_MIGRATE, old_owners, new_owners

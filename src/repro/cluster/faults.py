@@ -1,0 +1,439 @@
+"""Deterministic fault injection and reliable delivery for the cluster
+simulator.
+
+The healthy-cluster simulator counts exactly the messages the
+distributed protocol sends; this module makes those messages *fallible*
+and layers the protocol that real deployments need on top:
+
+* :class:`FaultPlan` — a seeded, declarative description of what goes
+  wrong: node crashes pinned to supersteps, and per-message-kind rates
+  at which the interconnect drops, duplicates, or delays packets.
+* :class:`FaultPlane` — the runtime that applies a plan inside
+  :class:`~repro.cluster.network.Network`.  Every remote message batch
+  is pushed through a sequence-numbered, acknowledged delivery
+  simulation with superstep-bounded timeouts and capped
+  exponential-backoff retransmission
+  (:class:`~repro.cluster.scheduler.RetryPolicy`); the receiver
+  discards duplicate sequence numbers, so walker migration stays
+  exactly-once no matter what the network does.
+
+Fault randomness comes from its own stream (derived from the plan
+seed), never from the engine's walk RNG — so a faulty run samples the
+*same walk* as a fault-free run and differs only in physical-layer
+counters and simulated time.  The delivery simulation is conservative
+by construction; per message kind:
+
+* ``accepts == logical``                 (exactly-once delivery)
+* ``transmissions == logical + retransmissions``
+* ``arrivals == transmissions - drops + duplicates``
+* ``dedups == arrivals - accepts``
+
+which is how retransmissions and dedup discards reconcile exactly with
+the injected drop/duplicate/delay counts (tests/test_faults.py asserts
+all four).
+
+Model simplifications, documented once: acknowledgements are reliable
+and instant (only data packets fault); a *delay* lands the packet after
+the sender's timeout, so it costs one spurious retransmission plus one
+receiver-side dedup; intra-node deliveries bypass the interconnect and
+cannot fault.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.network import MessageKind
+from repro.cluster.scheduler import RetryPolicy
+from repro.errors import ClusterError, MessageTimeoutError
+from repro.sampling.rng import derive_rng
+
+__all__ = [
+    "MessageFaults",
+    "NodeCrash",
+    "FaultPlan",
+    "DeliveryCounters",
+    "DeliveryStats",
+    "FaultPlane",
+    "random_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Per-transmission fault probabilities for one message kind.
+
+    The three fates are mutually exclusive per transmission: with
+    probability ``drop`` the packet vanishes, with ``delay`` it arrives
+    after the sender's timeout (forcing a spurious retransmission),
+    with ``duplicate`` the interconnect delivers two copies, and
+    otherwise it arrives cleanly.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ClusterError(f"{name} rate must be in [0, 1]")
+        if self.drop + self.duplicate + self.delay > 1.0:
+            raise ClusterError("fault rates must sum to at most 1")
+
+    @property
+    def active(self) -> bool:
+        return self.drop > 0 or self.duplicate > 0 or self.delay > 0
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One injected node failure.
+
+    ``superstep`` indexes the global execution timeline (replayed
+    supersteps included — a fault is an external event and does not
+    rewind with the engine's state).  With ``restart=True`` the node
+    comes back immediately and its shard is restored from the last
+    checkpoint; with ``restart=False`` the node stays dead and the
+    engine either degrades (re-partitioning its vertices across
+    survivors) or aborts, depending on its recovery mode.
+    """
+
+    superstep: int
+    node: int
+    restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0:
+            raise ClusterError("crash superstep must be non-negative")
+        if self.node < 0:
+            raise ClusterError("crash node must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible description of everything that fails.
+
+    ``default_faults`` applies to every message kind unless overridden
+    in ``per_kind``.  The same plan and seed always injects the same
+    faults — chaos tests pin plans the way walk tests pin walk seeds.
+    """
+
+    seed: int = 0
+    crashes: tuple[NodeCrash, ...] = ()
+    default_faults: MessageFaults = field(default_factory=MessageFaults)
+    per_kind: Mapping[MessageKind, MessageFaults] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "per_kind", dict(self.per_kind))
+
+    def faults_for(self, kind: MessageKind) -> MessageFaults:
+        return self.per_kind.get(kind, self.default_faults)
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.crashes)
+
+    @property
+    def has_message_faults(self) -> bool:
+        return any(self.faults_for(kind).active for kind in MessageKind)
+
+
+_COUNTER_FIELDS = (
+    "logical",
+    "transmissions",
+    "retransmissions",
+    "drops",
+    "duplicates",
+    "delays",
+    "arrivals",
+    "accepts",
+    "dedups",
+)
+
+
+@dataclass
+class DeliveryCounters:
+    """Physical-layer accounting for one message kind."""
+
+    logical: int = 0
+    transmissions: int = 0
+    retransmissions: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    arrivals: int = 0
+    accepts: int = 0
+    dedups: int = 0
+
+    def check_conservation(self) -> None:
+        """Raise if the delivery invariants are violated (test hook)."""
+        if self.accepts != self.logical:
+            raise ClusterError("delivery is not exactly-once")
+        if self.transmissions != self.logical + self.retransmissions:
+            raise ClusterError("transmission accounting broken")
+        if self.arrivals != self.transmissions - self.drops + self.duplicates:
+            raise ClusterError("arrival accounting broken")
+        if self.dedups != self.arrivals - self.accepts:
+            raise ClusterError("dedup accounting broken")
+
+
+class DeliveryStats:
+    """Per-kind delivery counters plus cluster-wide totals."""
+
+    def __init__(self) -> None:
+        self.per_kind: dict[MessageKind, DeliveryCounters] = {
+            kind: DeliveryCounters() for kind in MessageKind
+        }
+
+    def of(self, kind: MessageKind) -> DeliveryCounters:
+        return self.per_kind[kind]
+
+    def _total(self, name: str) -> int:
+        return sum(getattr(c, name) for c in self.per_kind.values())
+
+    @property
+    def retransmissions(self) -> int:
+        return self._total("retransmissions")
+
+    @property
+    def dedups(self) -> int:
+        return self._total("dedups")
+
+    @property
+    def drops(self) -> int:
+        return self._total("drops")
+
+    @property
+    def duplicates(self) -> int:
+        return self._total("duplicates")
+
+    @property
+    def delays(self) -> int:
+        return self._total("delays")
+
+    @property
+    def accepts(self) -> int:
+        return self._total("accepts")
+
+    @property
+    def logical(self) -> int:
+        return self._total("logical")
+
+    def check_conservation(self) -> None:
+        for counters in self.per_kind.values():
+            counters.check_conservation()
+
+    # -- serialisation (checkpointing) ---------------------------------
+    def to_array(self) -> np.ndarray:
+        return np.asarray(
+            [
+                [getattr(self.per_kind[kind], name) for name in _COUNTER_FIELDS]
+                for kind in MessageKind
+            ],
+            dtype=np.int64,
+        )
+
+    def load_array(self, array: np.ndarray) -> None:
+        for row, kind in zip(array, MessageKind):
+            for value, name in zip(row, _COUNTER_FIELDS):
+                setattr(self.per_kind[kind], name, int(value))
+
+
+class FaultPlane:
+    """Runtime that injects a :class:`FaultPlan` into a network.
+
+    Attach via ``Network(num_nodes, fault_plane=plane)``; the network
+    routes every remote batch through :meth:`transmit`.  The plane
+    accumulates lifetime :class:`DeliveryStats` plus per-superstep
+    overheads (extra per-node message handling and retry-chain latency)
+    that the engine drains into its cost model at each BSP barrier —
+    robustness has a measurable price.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        num_nodes: int,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ClusterError("a cluster needs at least one node")
+        self.plan = plan
+        self.num_nodes = num_nodes
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.stats = DeliveryStats()
+        self._rng = derive_rng(plan.seed, 0xFA117)
+        self._triggered: set[int] = set()
+        self._superstep_overhead = np.zeros(num_nodes, dtype=np.int64)
+        self._superstep_retry_depth = 0
+
+    # -- crash schedule ------------------------------------------------
+    def crashes_at(self, superstep: int) -> list[NodeCrash]:
+        """Untriggered crashes scheduled for this global superstep.
+
+        Each crash fires exactly once: recovery replays *state*, not
+        external events.
+        """
+        due = []
+        for index, crash in enumerate(self.plan.crashes):
+            if index not in self._triggered and crash.superstep == superstep:
+                self._triggered.add(index)
+                due.append(crash)
+        return due
+
+    # -- message faults ------------------------------------------------
+    def transmit(
+        self, kind: MessageKind, sources: np.ndarray, destinations: np.ndarray
+    ) -> None:
+        """Push one batch of remote messages through faulty delivery.
+
+        Simulates acknowledged, sequence-numbered delivery in retry
+        rounds until every message is accepted exactly once.  Raises
+        :class:`~repro.errors.MessageTimeoutError` when a message would
+        exceed the retry policy's attempt budget.
+        """
+        counters = self.stats.of(kind)
+        counters.logical += sources.size
+        faults = self.plan.faults_for(kind)
+        if sources.size == 0 or not faults.active:
+            # Clean network: one transmission, one arrival, one accept.
+            counters.transmissions += sources.size
+            counters.arrivals += sources.size
+            counters.accepts += sources.size
+            return
+
+        src = sources
+        dst = destinations
+        delivered = np.zeros(src.size, dtype=bool)
+        bound = faults.drop + faults.delay
+        dup_bound = bound + faults.duplicate
+        attempt = 1
+        while src.size:
+            count = src.size
+            counters.transmissions += count
+            if attempt > 1:
+                counters.retransmissions += count
+                # Extra sender-side handling for every retransmission.
+                np.add.at(self._superstep_overhead, src, 1)
+            draws = self._rng.random(count)
+            drop = draws < faults.drop
+            delay = (~drop) & (draws < bound)
+            dup = (~drop) & (~delay) & (draws < dup_bound)
+            arrive = ~drop
+
+            counters.drops += int(np.count_nonzero(drop))
+            counters.delays += int(np.count_nonzero(delay))
+            counters.duplicates += int(np.count_nonzero(dup))
+            accepted = arrive & ~delivered
+            accepted_count = int(np.count_nonzero(accepted))
+            arrivals = int(np.count_nonzero(arrive)) + int(np.count_nonzero(dup))
+            counters.arrivals += arrivals
+            counters.accepts += accepted_count
+            counters.dedups += arrivals - accepted_count
+            # Extra receiver-side handling for every discarded arrival
+            # (duplicate copies, and late/spurious deliveries of
+            # already-accepted sequence numbers).
+            discard_per_lane = dup.astype(np.int64) + (arrive & delivered)
+            np.add.at(self._superstep_overhead, dst, discard_per_lane)
+
+            # Timed-out senders retransmit: dropped packets of
+            # undelivered messages, and delayed packets (the arrival
+            # lands after the timeout, so the retransmission is already
+            # in flight).  A sender holding an acknowledgement stops.
+            retrans = (drop | delay) & ~delivered
+            if not retrans.any():
+                break
+            if attempt >= self.retry_policy.max_attempts:
+                raise MessageTimeoutError(
+                    f"{kind.name} message undelivered after "
+                    f"{attempt} attempts (capped retransmission budget)"
+                )
+            delivered = (delivered | arrive)[retrans]
+            src = src[retrans]
+            dst = dst[retrans]
+            attempt += 1
+            self._superstep_retry_depth = max(
+                self._superstep_retry_depth, attempt - 1
+            )
+
+    # -- per-superstep accounting --------------------------------------
+    def drain_superstep(self) -> tuple[np.ndarray, float]:
+        """(per-node extra messages, retry-latency units) accumulated
+        since the last barrier; resets the accumulators.
+
+        Retry chains of one superstep run concurrently, so the latency
+        charge is the backoff sum of the *deepest* chain.
+        """
+        overhead = self._superstep_overhead.copy()
+        self._superstep_overhead[:] = 0
+        units = sum(
+            self.retry_policy.backoff_units(retry)
+            for retry in range(1, self._superstep_retry_depth + 1)
+        )
+        self._superstep_retry_depth = 0
+        return overhead, float(units)
+
+    # -- serialisation (disk checkpoints) ------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Physical-layer state for on-disk checkpoints.
+
+        Retry queues are empty at every BSP barrier (delivery resolves
+        within the superstep's communication phase), so the in-flight
+        state reduces to the fault RNG stream, the already-triggered
+        crash set, and the lifetime counters.
+        """
+        return {
+            "fault_rng_state": np.frombuffer(
+                pickle.dumps(self._rng.bit_generator.state), dtype=np.uint8
+            ),
+            "fault_triggered": np.asarray(sorted(self._triggered), dtype=np.int64),
+            "fault_counters": self.stats.to_array(),
+        }
+
+    def load_state(self, state: Mapping[str, np.ndarray]) -> None:
+        self._rng.bit_generator.state = pickle.loads(
+            np.asarray(state["fault_rng_state"], dtype=np.uint8).tobytes()
+        )
+        self._triggered = set(int(i) for i in state["fault_triggered"])
+        self.stats.load_array(np.asarray(state["fault_counters"]))
+
+
+def random_fault_plan(
+    seed: int,
+    num_nodes: int,
+    max_crash_superstep: int = 12,
+    max_crashes: int = 2,
+    max_drop: float = 0.15,
+    max_duplicate: float = 0.08,
+    max_delay: float = 0.08,
+) -> FaultPlan:
+    """Draw a reproducible random plan — the chaos-test generator.
+
+    Rates are sampled independently per message kind; up to
+    ``max_crashes`` restart-style crashes land on random nodes at
+    random supersteps in ``[1, max_crash_superstep]``.
+    """
+    rng = derive_rng(seed, 0xC4A05)
+    per_kind = {
+        kind: MessageFaults(
+            drop=float(rng.uniform(0.0, max_drop)),
+            duplicate=float(rng.uniform(0.0, max_duplicate)),
+            delay=float(rng.uniform(0.0, max_delay)),
+        )
+        for kind in MessageKind
+    }
+    crashes = tuple(
+        NodeCrash(
+            superstep=int(rng.integers(1, max_crash_superstep + 1)),
+            node=int(rng.integers(0, num_nodes)),
+        )
+        for _ in range(int(rng.integers(0, max_crashes + 1)))
+    )
+    return FaultPlan(seed=seed, crashes=crashes, per_kind=per_kind)

@@ -8,6 +8,15 @@ the Gemini baseline's mirror broadcasts).
 
 Intra-node "messages" (source == destination) are counted separately
 and cost nothing: co-located walkers read vertex state directly.
+
+A :class:`~repro.cluster.faults.FaultPlane` can be attached; every
+remote batch is then additionally pushed through the faulty
+reliable-delivery simulation, so injected drops/duplicates/delays are
+counted in the same place the logical messages are.  The matrices here
+always stay *logical* (one count per protocol message, faults or not)
+— physical-layer retransmissions and dedups live on the plane's
+delivery stats, keeping communication-volume benchmarks comparable
+across healthy and chaotic runs.
 """
 
 from __future__ import annotations
@@ -39,10 +48,11 @@ class MessageKind(Enum):
 class Network:
     """Per-node-pair message counters for one simulated cluster."""
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int, fault_plane=None) -> None:
         if num_nodes <= 0:
             raise ClusterError("a cluster needs at least one node")
         self.num_nodes = num_nodes
+        self.fault_plane = fault_plane
         self._messages = {
             kind: np.zeros((num_nodes, num_nodes), dtype=np.int64)
             for kind in MessageKind
@@ -61,14 +71,25 @@ class Network:
         destinations = np.asarray(destinations, dtype=np.int64)
         if sources.shape != destinations.shape:
             raise ClusterError("sources and destinations must align")
+        if sources.size and (
+            min(sources.min(), destinations.min()) < 0
+            or max(sources.max(), destinations.max()) >= self.num_nodes
+        ):
+            raise ClusterError(
+                f"message endpoints must be node ids in [0, {self.num_nodes})"
+            )
         remote = sources != destinations
-        self._local[kind] += int(np.count_nonzero(~remote))
         if remote.any():
             flat = sources[remote] * self.num_nodes + destinations[remote]
             counts = np.bincount(flat, minlength=self.num_nodes * self.num_nodes)
             self._messages[kind] += counts.reshape(
                 self.num_nodes, self.num_nodes
             )
+            if self.fault_plane is not None:
+                self.fault_plane.transmit(
+                    kind, sources[remote], destinations[remote]
+                )
+        self._local[kind] += int(np.count_nonzero(~remote))
         return int(np.count_nonzero(remote))
 
     def record_scatter(
@@ -125,3 +146,24 @@ class Network:
     def received_by_node(self) -> np.ndarray:
         """Remote messages received per node (column sums)."""
         return self.matrix().sum(axis=0)
+
+    # ------------------------------------------------------------------
+    # Logical-state capture for checkpoint rollback.  The fault plane's
+    # physical-layer counters are deliberately NOT part of this state:
+    # replayed supersteps resend messages for real, while injected
+    # faults are external events that never rewind.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Copy of the logical message counters."""
+        return {
+            "messages": {k: v.copy() for k, v in self._messages.items()},
+            "local": dict(self._local),
+            "scattered": {k: v.copy() for k, v in self._scattered.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset the logical counters to a :meth:`snapshot_state`."""
+        for kind in MessageKind:
+            self._messages[kind][:] = state["messages"][kind]
+            self._local[kind] = state["local"][kind]
+            self._scattered[kind][:] = state["scattered"][kind]

@@ -7,6 +7,14 @@ geometric termination or by second-order rejection stragglers — the
 overhead of maintaining the full pool outweighs parallelism, so a node
 switches to *light mode*: three threads total (one compute, two
 communication) whenever its active walker count drops below 4000.
+
+This module also holds :class:`RetryPolicy`, the timing half of the
+reliable-delivery protocol (:mod:`repro.cluster.faults`): how long a
+sender waits for an acknowledgement before retransmitting, how the
+wait grows, and when it gives up.  Timeouts are *superstep-bounded*:
+the unit of waiting is a fraction of the BSP communication phase, so a
+retry chain lengthens the superstep it happens in rather than leaking
+into the next one.
 """
 
 from __future__ import annotations
@@ -15,7 +23,12 @@ from dataclasses import dataclass
 
 from repro.errors import ClusterError
 
-__all__ = ["ThreadPolicy", "LIGHT_MODE_THRESHOLD", "LIGHT_MODE_THREADS"]
+__all__ = [
+    "ThreadPolicy",
+    "RetryPolicy",
+    "LIGHT_MODE_THRESHOLD",
+    "LIGHT_MODE_THREADS",
+]
 
 # "a KnightKing node switches to its light mode by retaining only three
 # threads ... when its number of active walkers fall below a threshold,
@@ -57,3 +70,41 @@ class ThreadPolicy:
         if self.light_mode and active_walkers < self.threshold:
             return LIGHT_MODE_THREADS
         return self.full_threads
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission timing for the reliable-delivery layer.
+
+    Parameters
+    ----------
+    max_attempts:
+        total transmissions allowed per message (first send included).
+        Exhausting the budget raises
+        :class:`~repro.errors.MessageTimeoutError` — under any drop
+        rate below 1 the default budget is effectively unreachable.
+    backoff_base:
+        wait before the first retransmission, in timeout units (one
+        unit is priced by the cost model's ``backoff_unit_cost``).
+    backoff_cap:
+        ceiling on the exponentially growing wait, in timeout units.
+    """
+
+    max_attempts: int = 16
+    backoff_base: float = 1.0
+    backoff_cap: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ClusterError("max_attempts must be at least 1")
+        if self.backoff_base <= 0:
+            raise ClusterError("backoff_base must be positive")
+        if self.backoff_cap < self.backoff_base:
+            raise ClusterError("backoff_cap must be >= backoff_base")
+
+    def backoff_units(self, attempt: int) -> float:
+        """Wait (in timeout units) before retransmission ``attempt``
+        (1-based): capped exponential ``base * 2**(attempt-1)``."""
+        if attempt < 1:
+            raise ClusterError("attempt numbers are 1-based")
+        return min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)

@@ -8,15 +8,36 @@ paths, statistics, and the RNG stream — into a single ``.npz``;
 *bit-identically* to an uninterrupted run (the resume-determinism test
 asserts exactly that).
 
-Graph and program are not serialised: they are reproducible inputs the
-caller passes again at restore time, as with every checkpointing
-system that separates immutable datasets from mutable state.
+Format (version 2): every payload array is covered by a CRC32 recorded
+in the file; a truncated, corrupted, or version-skewed checkpoint
+raises :class:`~repro.errors.SnapshotError` instead of surfacing a raw
+numpy/zipfile traceback.
+
+Distributed engines are first-class: a
+:class:`~repro.cluster.engine.DistributedWalkEngine` checkpoint
+additionally captures the per-node walker shards (walker state plus
+the owner of each walker at capture time), per-node work counters,
+superstep times, node liveness and any degraded-mode owner overlay,
+the logical network matrices, recovery statistics, and the fault
+plane's physical-layer state (delivery counters, triggered crashes,
+and the fault RNG stream).  In-flight retry queues are *by
+construction* empty at every BSP barrier — reliable delivery resolves
+within the superstep's communication phase — so barrier-aligned
+checkpoints never need to serialise undelivered messages, the classic
+simplification of coordinated checkpointing.
+
+Graph, program, config — and for distributed engines the fault plan —
+are not serialised: they are reproducible inputs the caller passes
+again at restore time, as with every checkpointing system that
+separates immutable datasets from mutable state.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -24,23 +45,26 @@ from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
 from repro.core.trace import PathRecorder
 from repro.core.program import WalkerProgram
-from repro.errors import ReproError
+from repro.errors import SnapshotError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["save_checkpoint", "restore_checkpoint"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+_RECOVERY_FIELDS = ("crashes", "restarts", "checkpoints_taken", "replayed_supersteps")
 
 
-def save_checkpoint(engine: WalkEngine, path: str | os.PathLike) -> None:
-    """Serialise the engine's dynamic state to ``path`` (.npz)."""
-    if engine._recorder is not None and not isinstance(
-        engine._recorder, PathRecorder
-    ):
-        raise ReproError(
-            "checkpointing is not supported with streaming path output "
-            "(already-spilled sequences cannot be captured)"
-        )
+def _payload_checksum(payload: dict) -> int:
+    """CRC32 over every key and array payload, in sorted key order."""
+    crc = 0
+    for key in sorted(payload):
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(payload[key]).tobytes(), crc)
+    return crc
+
+
+def _base_payload(engine: WalkEngine) -> dict:
     walkers = engine.walkers
     payload: dict[str, np.ndarray] = {
         "version": np.asarray([FORMAT_VERSION]),
@@ -101,8 +125,219 @@ def save_checkpoint(engine: WalkEngine, path: str | os.PathLike) -> None:
             if lengths.size
             else np.zeros(0, dtype=np.int64)
         )
+    return payload
 
+
+def _cluster_payload(engine) -> dict:
+    """Distributed extras: shards, cluster counters, fault-plane state."""
+    from repro.cluster.network import MessageKind
+
+    cluster = engine.cluster
+    recovery = cluster.recovery
+    network_state = engine.network.snapshot_state()
+    payload: dict[str, np.ndarray] = {
+        "cluster_num_nodes": np.asarray([engine.num_nodes], dtype=np.int64),
+        "cluster_shard_of_walker": engine._owners(engine.walkers.current),
+        "cluster_alive_nodes": engine._alive_nodes,
+        "cluster_executed_supersteps": np.asarray(
+            [engine._executed_supersteps], dtype=np.int64
+        ),
+        "cluster_trials_per_node": cluster.trials_per_node,
+        "cluster_pd_per_node": cluster.pd_evaluations_per_node,
+        "cluster_walker_supersteps_per_node": cluster.walker_supersteps_per_node,
+        "cluster_superstep_times": np.asarray(
+            cluster.superstep_times, dtype=np.float64
+        ),
+        "cluster_light_mode": np.asarray(
+            [cluster.light_mode_node_supersteps], dtype=np.int64
+        ),
+        "cluster_recovery_counts": np.asarray(
+            [getattr(recovery, name) for name in _RECOVERY_FIELDS], dtype=np.int64
+        ),
+        "cluster_recovery_seconds": np.asarray(
+            [recovery.recovery_seconds], dtype=np.float64
+        ),
+        "cluster_degraded_nodes": np.asarray(
+            recovery.degraded_nodes, dtype=np.int64
+        ),
+        "cluster_net_messages": np.stack(
+            [network_state["messages"][kind] for kind in MessageKind]
+        ),
+        "cluster_net_local": np.asarray(
+            [network_state["local"][kind] for kind in MessageKind], dtype=np.int64
+        ),
+        "cluster_net_scattered": np.stack(
+            [network_state["scattered"][kind] for kind in MessageKind]
+        ),
+    }
+    if engine._owner_lookup is not None:
+        payload["cluster_owner_lookup"] = engine._owner_lookup
+    if engine.fault_plane is not None:
+        payload.update(engine.fault_plane.state_dict())
+    return payload
+
+
+def save_checkpoint(engine: WalkEngine, path: str | os.PathLike) -> None:
+    """Serialise the engine's dynamic state to ``path`` (.npz).
+
+    Works for both the local :class:`WalkEngine` and the distributed
+    :class:`~repro.cluster.engine.DistributedWalkEngine` (which must be
+    paused at a superstep boundary, i.e. between ``run`` calls — the
+    only place its state is observable anyway).
+    """
+    if engine._recorder is not None and not isinstance(
+        engine._recorder, PathRecorder
+    ):
+        raise SnapshotError(
+            "checkpointing is not supported with streaming path output "
+            "(already-spilled sequences cannot be captured)"
+        )
+    payload = _base_payload(engine)
+    from repro.cluster.engine import DistributedWalkEngine
+
+    if isinstance(engine, DistributedWalkEngine):
+        payload.update(_cluster_payload(engine))
+    payload["checksum"] = np.asarray(
+        [_payload_checksum(payload)], dtype=np.uint64
+    )
     np.savez_compressed(path, **payload)
+
+
+def _verify_and_load(path: str | os.PathLike) -> dict:
+    """Read a checkpoint into memory, verifying version and checksum."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(f"unreadable checkpoint {path}: {exc}") from exc
+    if "version" not in arrays or "checksum" not in arrays:
+        raise SnapshotError(f"malformed checkpoint {path}: missing header")
+    version = int(arrays["version"][0])
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"checkpoint version {version} unsupported (expected {FORMAT_VERSION})"
+        )
+    stored = int(arrays["checksum"][0])
+    recorded = {k: v for k, v in arrays.items() if k != "checksum"}
+    if _payload_checksum(recorded) != stored:
+        raise SnapshotError(
+            f"corrupt checkpoint {path}: payload checksum mismatch"
+        )
+    return arrays
+
+
+def _restore_base(engine: WalkEngine, data: dict, path) -> None:
+    walkers = engine.walkers
+    try:
+        if data["current"].size != walkers.num_walkers:
+            raise SnapshotError(
+                "checkpoint walker count does not match configuration"
+            )
+        walkers.current[:] = data["current"]
+        walkers.previous[:] = data["previous"]
+        walkers.steps[:] = data["steps"]
+        walkers.alive[:] = data["alive"]
+        if walkers.history is not None:
+            if "history" not in data:
+                raise SnapshotError(
+                    "checkpoint lacks walker history for this program"
+                )
+            walkers.history[:] = data["history"]
+        engine._rejection_streak[:] = data["rejection_streak"]
+        engine._rng.bit_generator.state = pickle.loads(
+            data["rng_state"].tobytes()
+        )
+
+        scalars = data["stats_scalars"]
+        stats = engine.stats
+        (
+            stats.total_steps,
+            stats.iterations,
+            stats.teleports,
+            stats.full_scan_evaluations,
+            stats.messages_sent,
+            stats.counters.trials,
+            stats.counters.pd_evaluations,
+            stats.counters.pre_accepts,
+            stats.counters.appendix_trials,
+            stats.counters.accepts,
+            stats.termination.by_step_limit,
+            stats.termination.by_probability,
+            stats.termination.by_dead_end,
+        ) = (int(value) for value in scalars)
+        stats.active_per_iteration = data["active_per_iteration"].tolist()
+
+        for name in data["state_names"]:
+            name = str(name)
+            walkers.state(name)[:] = data[f"state_{name}"]
+
+        if engine._recorder is not None:
+            if "recorder_lengths" not in data:
+                raise SnapshotError(
+                    "checkpoint lacks recorded paths but record_paths=True"
+                )
+            recorder = engine._recorder
+            recorder._move_walkers.clear()
+            recorder._move_vertices.clear()
+            offsets = np.zeros(
+                data["recorder_lengths"].size + 1, dtype=np.int64
+            )
+            np.cumsum(data["recorder_lengths"], out=offsets[1:])
+            flat_walkers = data["recorder_walkers"]
+            flat_vertices = data["recorder_vertices"]
+            for index in range(offsets.size - 1):
+                low, high = offsets[index], offsets[index + 1]
+                recorder._move_walkers.append(flat_walkers[low:high].copy())
+                recorder._move_vertices.append(
+                    flat_vertices[low:high].copy()
+                )
+    except KeyError as exc:
+        raise SnapshotError(f"malformed checkpoint {path}: {exc}") from exc
+
+
+def _restore_cluster(engine, data: dict, path) -> None:
+    from repro.cluster.network import MessageKind
+
+    try:
+        cluster = engine.cluster
+        engine._alive_nodes[:] = data["cluster_alive_nodes"]
+        engine._executed_supersteps = int(data["cluster_executed_supersteps"][0])
+        cluster.trials_per_node[:] = data["cluster_trials_per_node"]
+        cluster.pd_evaluations_per_node[:] = data["cluster_pd_per_node"]
+        cluster.walker_supersteps_per_node[:] = data[
+            "cluster_walker_supersteps_per_node"
+        ]
+        cluster.superstep_times[:] = data["cluster_superstep_times"].tolist()
+        cluster.light_mode_node_supersteps = int(data["cluster_light_mode"][0])
+        recovery = cluster.recovery
+        for name, value in zip(_RECOVERY_FIELDS, data["cluster_recovery_counts"]):
+            setattr(recovery, name, int(value))
+        recovery.recovery_seconds = float(data["cluster_recovery_seconds"][0])
+        recovery.degraded_nodes = data["cluster_degraded_nodes"].tolist()
+        if "cluster_owner_lookup" in data:
+            engine._owner_lookup = np.asarray(
+                data["cluster_owner_lookup"], dtype=np.int64
+            )
+        engine.network.restore_state(
+            {
+                "messages": {
+                    kind: data["cluster_net_messages"][index]
+                    for index, kind in enumerate(MessageKind)
+                },
+                "local": {
+                    kind: int(data["cluster_net_local"][index])
+                    for index, kind in enumerate(MessageKind)
+                },
+                "scattered": {
+                    kind: data["cluster_net_scattered"][index]
+                    for index, kind in enumerate(MessageKind)
+                },
+            }
+        )
+        if engine.fault_plane is not None and "fault_rng_state" in data:
+            engine.fault_plane.load_state(data)
+    except KeyError as exc:
+        raise SnapshotError(f"malformed checkpoint {path}: {exc}") from exc
 
 
 def restore_checkpoint(
@@ -110,85 +345,39 @@ def restore_checkpoint(
     program: WalkerProgram,
     config: WalkConfig,
     path: str | os.PathLike,
+    **engine_kwargs,
 ) -> WalkEngine:
     """Rebuild an engine from a checkpoint; ``run()`` continues it.
 
     ``graph``, ``program``, and ``config`` must be the ones the
     checkpointed engine was constructed with (the static state is
-    re-derived from them; only dynamic state is loaded).
+    re-derived from them; only dynamic state is loaded).  A checkpoint
+    taken from a distributed engine restores a
+    :class:`~repro.cluster.engine.DistributedWalkEngine` on the same
+    number of nodes; pass ``fault_plan``/``retry_policy``/... through
+    ``engine_kwargs`` to re-arm fault injection — the plane then resumes
+    its recorded RNG stream, triggered-crash set, and delivery counters.
     """
-    engine = WalkEngine(graph, program, config)
-    walkers = engine.walkers
-    with np.load(path, allow_pickle=False) as data:
-        try:
-            version = int(data["version"][0])
-            if version != FORMAT_VERSION:
-                raise ReproError(
-                    f"checkpoint version {version} unsupported "
-                    f"(expected {FORMAT_VERSION})"
-                )
-            if data["current"].size != walkers.num_walkers:
-                raise ReproError(
-                    "checkpoint walker count does not match configuration"
-                )
-            walkers.current[:] = data["current"]
-            walkers.previous[:] = data["previous"]
-            walkers.steps[:] = data["steps"]
-            walkers.alive[:] = data["alive"]
-            if walkers.history is not None:
-                if "history" not in data:
-                    raise ReproError(
-                        "checkpoint lacks walker history for this program"
-                    )
-                walkers.history[:] = data["history"]
-            engine._rejection_streak[:] = data["rejection_streak"]
-            engine._rng.bit_generator.state = pickle.loads(
-                data["rng_state"].tobytes()
+    data = _verify_and_load(path)
+    if "cluster_num_nodes" in data:
+        from repro.cluster.engine import DistributedWalkEngine
+
+        num_nodes = int(data["cluster_num_nodes"][0])
+        requested = engine_kwargs.pop("num_nodes", None)
+        if requested is not None and requested != num_nodes:
+            raise SnapshotError(
+                f"checkpoint was taken on {num_nodes} nodes, not {requested}"
             )
-
-            scalars = data["stats_scalars"]
-            stats = engine.stats
-            (
-                stats.total_steps,
-                stats.iterations,
-                stats.teleports,
-                stats.full_scan_evaluations,
-                stats.messages_sent,
-                stats.counters.trials,
-                stats.counters.pd_evaluations,
-                stats.counters.pre_accepts,
-                stats.counters.appendix_trials,
-                stats.counters.accepts,
-                stats.termination.by_step_limit,
-                stats.termination.by_probability,
-                stats.termination.by_dead_end,
-            ) = (int(value) for value in scalars)
-            stats.active_per_iteration = data["active_per_iteration"].tolist()
-
-            for name in data["state_names"]:
-                name = str(name)
-                walkers.state(name)[:] = data[f"state_{name}"]
-
-            if engine._recorder is not None:
-                if "recorder_lengths" not in data:
-                    raise ReproError(
-                        "checkpoint lacks recorded paths but record_paths=True"
-                    )
-                recorder = engine._recorder
-                recorder._move_walkers.clear()
-                recorder._move_vertices.clear()
-                offsets = np.zeros(
-                    data["recorder_lengths"].size + 1, dtype=np.int64
-                )
-                np.cumsum(data["recorder_lengths"], out=offsets[1:])
-                flat_walkers = data["recorder_walkers"]
-                flat_vertices = data["recorder_vertices"]
-                for index in range(offsets.size - 1):
-                    low, high = offsets[index], offsets[index + 1]
-                    recorder._move_walkers.append(flat_walkers[low:high].copy())
-                    recorder._move_vertices.append(
-                        flat_vertices[low:high].copy()
-                    )
-        except KeyError as exc:
-            raise ReproError(f"malformed checkpoint {path}: {exc}") from exc
+        engine = DistributedWalkEngine(
+            graph, program, config, num_nodes=num_nodes, **engine_kwargs
+        )
+        _restore_base(engine, data, path)
+        _restore_cluster(engine, data, path)
+        return engine
+    if engine_kwargs:
+        raise SnapshotError(
+            "engine options are only meaningful for distributed checkpoints"
+        )
+    engine = WalkEngine(graph, program, config)
+    _restore_base(engine, data, path)
     return engine

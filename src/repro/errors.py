@@ -37,6 +37,29 @@ class ConfigError(ReproError):
     """Raised for invalid :class:`~repro.core.config.WalkConfig` values."""
 
 
+class SnapshotError(ReproError):
+    """Raised for unreadable checkpoints: truncated or corrupt files,
+    checksum mismatches, unknown format versions, or state that does
+    not match the engine being restored."""
+
+
 class ClusterError(ReproError):
     """Raised by the distributed-execution simulator for protocol
     violations, e.g. a message addressed to a vertex nobody owns."""
+
+
+class FaultError(ClusterError):
+    """Base class for injected-fault failures in the cluster
+    simulator: errors that model a *machine* misbehaving rather than a
+    caller misusing the API."""
+
+
+class NodeCrashError(FaultError):
+    """Raised when a simulated node crash cannot be recovered from —
+    no checkpoint to replay, or no surviving node left to take over
+    the dead node's vertices."""
+
+
+class MessageTimeoutError(FaultError):
+    """Raised when the reliable-delivery layer exhausts its capped
+    retransmission budget without getting a message through."""

@@ -74,6 +74,28 @@ class TestNetwork:
                 MessageKind.STATE_QUERY, np.array([0]), np.array([-1])
             )
 
+    def test_record_batch_rejects_out_of_range_nodes(self):
+        network = Network(3)
+        with pytest.raises(ClusterError, match=r"\[0, 3\)"):
+            network.record_batch(
+                MessageKind.WALKER_MIGRATE, np.array([0, 3]), np.array([1, 2])
+            )
+        with pytest.raises(ClusterError, match=r"\[0, 3\)"):
+            network.record_batch(
+                MessageKind.WALKER_MIGRATE, np.array([0, 1]), np.array([1, -1])
+            )
+        # Nothing was recorded by the rejected batches.
+        assert network.total_messages() == 0
+        assert network.local_deliveries() == 0
+
+    def test_record_batch_empty_is_fine(self):
+        network = Network(2)
+        crossed = network.record_batch(
+            MessageKind.STATE_QUERY, np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        )
+        assert crossed == 0
+
 
 class TestThreadPolicy:
     def test_paper_defaults(self):

@@ -49,6 +49,13 @@ def test_custom_walk():
     assert averse < plain
 
 
+def test_fault_tolerance():
+    output = run_example("fault_tolerance.py")
+    assert "walks bit-identical under faults: True" in output
+    assert "retransmissions" in output
+    assert "robustness bill" in output
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -59,6 +66,7 @@ def test_custom_walk():
         "custom_walk.py",
         "embedding_pipeline.py",
         "distributed_simulation.py",
+        "fault_tolerance.py",
     ],
 )
 def test_example_files_are_importable(name):

@@ -1,0 +1,345 @@
+"""Chaos tests: fault injection, reliable delivery, crash recovery.
+
+The fault plane's core guarantee is that a faulty run with recovery
+produces the *same walk* as a fault-free run — faults live on their own
+RNG stream and reliable delivery hides them from the logical protocol.
+The chaos tests assert that bit-for-bit (paths) and distributionally
+(visit counts, walk lengths), across random fault plans and three
+algorithm families; the accounting tests reconcile every injected fault
+against the retransmission and dedup counters exactly.
+
+The CI chaos job re-runs this file under several ``REPRO_CHAOS_SEED``
+values to widen the sampled plan space.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MetaPathWalk, Node2Vec, PPR, random_schemes
+from repro.cluster import (
+    DistributedWalkEngine,
+    FaultPlan,
+    MessageFaults,
+    MessageKind,
+    NodeCrash,
+    RetryPolicy,
+    random_fault_plan,
+)
+from repro.core.config import WalkConfig
+from repro.errors import (
+    ClusterError,
+    FaultError,
+    MessageTimeoutError,
+    NodeCrashError,
+)
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import uniform_degree_graph
+from repro.graph.hetero import assign_random_edge_types
+from tests.helpers import assert_matches_distribution
+
+NUM_NODES = 4
+
+# CI widens coverage by re-running the chaos sweep under extra seeds.
+CHAOS_SEEDS = (
+    [int(os.environ["REPRO_CHAOS_SEED"])]
+    if os.environ.get("REPRO_CHAOS_SEED")
+    else [1, 2]
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_degree_graph(300, 6, seed=0, undirected=True)
+
+
+def _program_setup(name, graph, seed):
+    """(program factory, graph, config) per algorithm family."""
+    if name == "node2vec":
+        config = WalkConfig(
+            num_walkers=120, max_steps=18, record_paths=True, seed=seed
+        )
+        return lambda: Node2Vec(p=0.5, q=2.0, biased=False), graph, config
+    if name == "metapath":
+        typed = assign_random_edge_types(graph, 3, seed=5)
+        schemes = random_schemes(6, 3, 3, seed=6)
+        config = WalkConfig(
+            num_walkers=120, max_steps=15, record_paths=True, seed=seed
+        )
+        return lambda: MetaPathWalk(schemes), typed, config
+    if name == "ppr":
+        config = WalkConfig(
+            num_walkers=200,
+            max_steps=40,
+            termination_probability=0.08,
+            record_paths=True,
+            seed=seed,
+        )
+        return lambda: PPR(), graph, config
+    raise AssertionError(name)
+
+
+def _run(graph, make_program, config, **engine_kwargs):
+    return DistributedWalkEngine(
+        graph, make_program(), config, num_nodes=NUM_NODES, **engine_kwargs
+    ).run()
+
+
+def _visits(paths):
+    return np.concatenate([np.asarray(p) for p in paths])
+
+
+class TestChaosEquivalence:
+    """Random fault plans never change what the walk computes."""
+
+    @pytest.mark.parametrize("algorithm", ["node2vec", "metapath", "ppr"])
+    @pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+    def test_faulty_run_matches_fault_free(self, graph, algorithm, chaos_seed):
+        make_program, walk_graph, config = _program_setup(
+            algorithm, graph, seed=40 + chaos_seed
+        )
+        plan = random_fault_plan(chaos_seed, NUM_NODES)
+        clean = _run(walk_graph, make_program, config)
+        faulty = _run(
+            walk_graph, make_program, config,
+            fault_plan=plan, checkpoint_every=4,
+        )
+
+        # Bit-identical: same paths, same lengths, same logical stats.
+        assert len(clean.paths) == len(faulty.paths)
+        for a, b in zip(clean.paths, faulty.paths):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            clean.walk_lengths, faulty.walk_lengths
+        )
+        assert clean.stats.counters.trials == faulty.stats.counters.trials
+
+        # Distributional: visit counts match under the chi-square check
+        # the engine-equivalence tests use (trivially, given the above —
+        # this is the acceptance criterion stated independently).
+        clean_visits = _visits(clean.paths)
+        law = np.bincount(clean_visits, minlength=walk_graph.num_vertices)
+        assert_matches_distribution(
+            _visits(faulty.paths), law / law.sum()
+        )
+
+        # Every injected fault was absorbed by the delivery layer.
+        faulty.cluster.delivery.check_conservation()
+        if plan.has_message_faults:
+            assert faulty.cluster.simulated_seconds >= clean.cluster.simulated_seconds
+
+    def test_delay_only_plan_costs_spurious_retransmissions(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=9
+        )
+        plan = FaultPlan(
+            seed=3, default_faults=MessageFaults(delay=0.1)
+        )
+        result = _run(walk_graph, make_program, config, fault_plan=plan)
+        delivery = result.cluster.delivery
+        delivery.check_conservation()
+        # A delayed packet still arrives, so the retransmission it
+        # provokes is always discarded by the receiver: with no drops
+        # or duplicates, every retransmission becomes exactly one
+        # dedup.  (A delay hitting an already-acked retransmission
+        # provokes nothing further, so delays can exceed both.)
+        assert delivery.dedups == delivery.retransmissions > 0
+        assert delivery.delays >= delivery.retransmissions
+
+
+class TestCounterReconciliation:
+    """Injected faults reconcile exactly with protocol overhead."""
+
+    def test_drop_and_duplicate_accounting_is_exact(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=11
+        )
+        plan = FaultPlan(
+            seed=7,
+            default_faults=MessageFaults(drop=0.1, duplicate=0.05),
+        )
+        result = _run(walk_graph, make_program, config, fault_plan=plan)
+        for kind in MessageKind:
+            counters = result.cluster.delivery.of(kind)
+            counters.check_conservation()
+            # Without delays, only a dropped packet of an undelivered
+            # message triggers a retransmission, and only duplicate
+            # copies are ever discarded.
+            assert counters.retransmissions == counters.drops
+            assert counters.dedups == counters.duplicates
+            assert counters.accepts == counters.logical
+
+    def test_clean_network_has_zero_overhead(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=12
+        )
+        plan = FaultPlan(seed=1)  # no faults at all
+        result = _run(walk_graph, make_program, config, fault_plan=plan)
+        delivery = result.cluster.delivery
+        delivery.check_conservation()
+        assert delivery.retransmissions == 0
+        assert delivery.dedups == 0
+        assert delivery.logical == delivery.accepts > 0
+
+
+class TestAcceptance:
+    """The issue's end-to-end scenario on the Twitter stand-in."""
+
+    def test_twitter_node2vec_survives_crash_and_message_faults(self):
+        walk_graph = load_dataset("twitter", scale=0.02)
+        config = WalkConfig(
+            num_walkers=200, max_steps=20, record_paths=True, seed=1
+        )
+        faults = MessageFaults(drop=0.06, duplicate=0.03)
+        plan = FaultPlan(
+            seed=17,
+            crashes=(NodeCrash(superstep=5, node=1),),
+            per_kind={kind: faults for kind in MessageKind},
+        )
+        make_program = lambda: Node2Vec(p=0.5, q=2.0, biased=False)
+        clean = _run(walk_graph, make_program, config)
+        faulty = _run(
+            walk_graph, make_program, config,
+            fault_plan=plan, checkpoint_every=4,
+        )
+
+        # Completion + distributional equivalence.
+        assert faulty.walkers.num_active == 0
+        np.testing.assert_array_equal(
+            clean.walk_lengths, faulty.walk_lengths
+        )
+        clean_visits = _visits(clean.paths)
+        law = np.bincount(clean_visits, minlength=walk_graph.num_vertices)
+        assert_matches_distribution(_visits(faulty.paths), law / law.sum())
+
+        # Walker migration stayed exactly-once despite drops and dups.
+        migrate = faulty.cluster.delivery.of(MessageKind.WALKER_MIGRATE)
+        migrate.check_conservation()
+        assert migrate.accepts == migrate.logical
+        assert migrate.drops > 0 and migrate.duplicates > 0
+
+        # The run report itemises the robustness bill.
+        recovery = faulty.cluster.recovery
+        assert recovery.crashes == 1
+        assert recovery.checkpoints_taken >= 2
+        assert recovery.replayed_supersteps >= 1
+        report = faulty.cluster.report()
+        for needle in (
+            "retransmissions", "dedups", "crashes",
+            "checkpoints taken", "supersteps replayed",
+        ):
+            assert needle in report
+        assert faulty.cluster.simulated_seconds > clean.cluster.simulated_seconds
+
+
+class TestFailureModes:
+    def test_retry_budget_exhaustion_raises(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=13
+        )
+        plan = FaultPlan(seed=2, default_faults=MessageFaults(drop=1.0))
+        with pytest.raises(MessageTimeoutError):
+            _run(
+                walk_graph, make_program, config,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(max_attempts=3),
+            )
+
+    def test_crash_with_checkpointing_disabled_aborts(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=14
+        )
+        plan = FaultPlan(seed=2, crashes=(NodeCrash(superstep=2, node=0),))
+        with pytest.raises(NodeCrashError):
+            _run(
+                walk_graph, make_program, config,
+                fault_plan=plan, checkpoint_every=0,
+            )
+
+    def test_permanent_crash_without_degrade_aborts(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=15
+        )
+        plan = FaultPlan(
+            seed=2,
+            crashes=(NodeCrash(superstep=2, node=0, restart=False),),
+        )
+        with pytest.raises(NodeCrashError):
+            _run(walk_graph, make_program, config, fault_plan=plan)
+
+    def test_streaming_paths_incompatible_with_crash_plan(
+        self, graph, tmp_path
+    ):
+        config = WalkConfig(
+            num_walkers=20,
+            max_steps=10,
+            stream_paths_to=str(tmp_path / "corpus.txt"),
+        )
+        plan = FaultPlan(seed=2, crashes=(NodeCrash(superstep=1, node=0),))
+        with pytest.raises(FaultError):
+            DistributedWalkEngine(
+                graph, Node2Vec(p=1.0, q=1.0, biased=False), config,
+                num_nodes=NUM_NODES, fault_plan=plan,
+            )
+
+    def test_plan_validation(self):
+        with pytest.raises(ClusterError):
+            MessageFaults(drop=1.2)
+        with pytest.raises(ClusterError):
+            MessageFaults(drop=0.6, duplicate=0.3, delay=0.2)
+        with pytest.raises(ClusterError):
+            NodeCrash(superstep=-1, node=0)
+        with pytest.raises(ClusterError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestGracefulDegradation:
+    def test_dead_node_vertices_move_to_survivors(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=16
+        )
+        plan = FaultPlan(
+            seed=4,
+            crashes=(NodeCrash(superstep=3, node=2, restart=False),),
+        )
+        clean = _run(walk_graph, make_program, config)
+        degraded = _run(
+            walk_graph, make_program, config,
+            fault_plan=plan, checkpoint_every=3, degrade_on_crash=True,
+        )
+        assert degraded.cluster.recovery.degraded_nodes == [2]
+        # The walk itself is unchanged by the re-partitioning.
+        for a, b in zip(clean.paths, degraded.paths):
+            np.testing.assert_array_equal(a, b)
+        # The dead node stops doing walker work after the crash: every
+        # remaining walker superstep lands on a survivor.
+        engine = DistributedWalkEngine(
+            walk_graph, make_program(), config, num_nodes=NUM_NODES,
+            fault_plan=FaultPlan(
+                seed=4,
+                crashes=(NodeCrash(superstep=3, node=2, restart=False),),
+            ),
+            checkpoint_every=3, degrade_on_crash=True,
+        )
+        engine.run()
+        owners = engine._owners(
+            np.arange(walk_graph.num_vertices, dtype=np.int64)
+        )
+        assert not np.any(owners == 2)
+        assert np.array_equal(np.unique(owners), np.array([0, 1, 3]))
+
+    def test_last_node_crash_is_fatal(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=17
+        )
+        config = WalkConfig(num_walkers=30, max_steps=10, seed=3)
+        plan = FaultPlan(
+            seed=5, crashes=(NodeCrash(superstep=1, node=0, restart=False),)
+        )
+        engine = DistributedWalkEngine(
+            walk_graph, make_program(), config, num_nodes=1,
+            fault_plan=plan, checkpoint_every=2, degrade_on_crash=True,
+        )
+        with pytest.raises(NodeCrashError):
+            engine.run()

@@ -10,10 +10,16 @@ from repro.algorithms import (
     UniformWalk,
     random_schemes,
 )
+from repro.cluster import (
+    DistributedWalkEngine,
+    FaultPlan,
+    MessageFaults,
+    NodeCrash,
+)
 from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
 from repro.core.snapshot import restore_checkpoint, save_checkpoint
-from repro.errors import ReproError
+from repro.errors import ReproError, SnapshotError
 from repro.graph.generators import uniform_degree_graph
 from repro.graph.hetero import assign_random_edge_types
 
@@ -146,4 +152,132 @@ class TestValidation:
         with pytest.raises(ReproError):
             restore_checkpoint(
                 graph, UniformWalk(), config_recording, checkpoint
+            )
+
+
+class TestCorruptFiles:
+    """Damaged checkpoints fail with SnapshotError, never a raw
+    numpy/zipfile traceback."""
+
+    @pytest.fixture
+    def checkpoint(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        engine.run(max_iterations=3)
+        path = tmp_path / "walk.npz"
+        save_checkpoint(engine, path)
+        return path
+
+    def test_truncated_file(self, graph, checkpoint):
+        raw = checkpoint.read_bytes()
+        checkpoint.write_bytes(raw[: len(raw) // 3])
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        with pytest.raises(SnapshotError, match="unreadable|malformed"):
+            restore_checkpoint(graph, UniformWalk(), config, checkpoint)
+
+    def test_flipped_bytes_fail_checksum(self, graph, checkpoint):
+        raw = bytearray(checkpoint.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        checkpoint.write_bytes(bytes(raw))
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        with pytest.raises(SnapshotError):
+            restore_checkpoint(graph, UniformWalk(), config, checkpoint)
+
+    def test_not_a_checkpoint(self, graph, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"definitely not a zip archive")
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        with pytest.raises(SnapshotError):
+            restore_checkpoint(graph, UniformWalk(), config, bogus)
+
+    def test_missing_file(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        with pytest.raises(SnapshotError):
+            restore_checkpoint(
+                graph, UniformWalk(), config, tmp_path / "absent.npz"
+            )
+
+    def test_version_skew(self, graph, checkpoint, tmp_path):
+        with np.load(checkpoint) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["version"] = np.asarray([99])
+        from repro.core.snapshot import _payload_checksum
+
+        del arrays["checksum"]
+        arrays["checksum"] = np.asarray(
+            [_payload_checksum(arrays)], dtype=np.uint64
+        )
+        skewed = tmp_path / "skewed.npz"
+        np.savez_compressed(skewed, **arrays)
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        with pytest.raises(SnapshotError, match="version"):
+            restore_checkpoint(graph, UniformWalk(), config, skewed)
+
+
+class TestDistributedCheckpoint:
+    def test_round_trip_resumes_bit_identically(self, graph, tmp_path):
+        config = WalkConfig(
+            num_walkers=60, max_steps=16, record_paths=True, seed=3
+        )
+        plan = FaultPlan(
+            seed=11,
+            crashes=(NodeCrash(superstep=4, node=1),),
+            default_faults=MessageFaults(drop=0.05, duplicate=0.03),
+        )
+
+        def make():
+            return DistributedWalkEngine(
+                graph,
+                Node2Vec(p=0.5, q=2.0, biased=False),
+                config,
+                num_nodes=4,
+                fault_plan=plan,
+                checkpoint_every=5,
+            )
+
+        uninterrupted = make().run()
+        engine = make()
+        engine.run(max_iterations=7)
+        path = tmp_path / "dist.npz"
+        save_checkpoint(engine, path)
+        resumed = restore_checkpoint(
+            graph,
+            Node2Vec(p=0.5, q=2.0, biased=False),
+            config,
+            path,
+            fault_plan=plan,
+            checkpoint_every=5,
+        )
+        result = resumed.run()
+        for a, b in zip(uninterrupted.paths, result.paths):
+            np.testing.assert_array_equal(a, b)
+        # Cluster accounting carries across the restore.
+        assert (
+            result.cluster.num_supersteps
+            == uninterrupted.cluster.num_supersteps
+        )
+        assert result.cluster.recovery.crashes == 1
+        result.cluster.delivery.check_conservation()
+
+    def test_node_count_mismatch(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=20, max_steps=8, seed=2)
+        engine = DistributedWalkEngine(
+            graph, UniformWalk(), config, num_nodes=4
+        )
+        engine.run(max_iterations=2)
+        path = tmp_path / "dist.npz"
+        save_checkpoint(engine, path)
+        with pytest.raises(SnapshotError, match="4 nodes"):
+            restore_checkpoint(
+                graph, UniformWalk(), config, path, num_nodes=8
+            )
+
+    def test_local_checkpoint_rejects_engine_options(self, graph, tmp_path):
+        config = WalkConfig(num_walkers=10, max_steps=5)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        path = tmp_path / "walk.npz"
+        save_checkpoint(engine, path)
+        with pytest.raises(SnapshotError):
+            restore_checkpoint(
+                graph, UniformWalk(), config, path, degrade_on_crash=True
             )
