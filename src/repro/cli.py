@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing Python:
+Four subcommands cover the common workflows without writing Python:
 
 * ``walk``  — run any built-in algorithm on a dataset stand-in or an
   edge-list file, print statistics, optionally dump the walk corpus;
 * ``bench`` — regenerate one of the paper's tables/figures;
-* ``info``  — print a graph's size and degree profile.
+* ``info``  — print a graph's size and degree profile;
+* ``serve`` — drive a synthetic request stream through the
+  overload-robust walk service and print its accounting.
 
 Examples::
 
@@ -13,6 +15,8 @@ Examples::
         --scale 0.25 --length 40 --p 2 --q 0.5 --nodes 8
     python -m repro.cli bench table5b
     python -m repro.cli info --dataset friendster --scale 0.5
+    python -m repro.cli serve --dataset livejournal --scale 0.1 \\
+        --requests 200 --service-workers 4 --policy priority
 """
 
 from __future__ import annotations
@@ -136,6 +140,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = subparsers.add_parser("info", help="print graph statistics")
     _add_graph_arguments(info)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive a synthetic request stream through the walk service",
+    )
+    _add_graph_arguments(serve)
+    serve.add_argument(
+        "--requests", type=int, default=200,
+        help="number of synthetic requests to submit",
+    )
+    serve.add_argument(
+        "--service-workers", type=int, default=4,
+        help="executor threads in the service",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=16,
+        help="admission queue bound",
+    )
+    serve.add_argument(
+        "--policy", choices=("reject-newest", "reject-oldest", "priority"),
+        default="reject-oldest", help="load-shedding policy",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=16,
+        help="submit requests in bursts of this size",
+    )
+    serve.add_argument(
+        "--tight-deadline-ms", type=float, default=1.0,
+        help="deadline of the deadline-tight request class",
+    )
+    serve.add_argument(
+        "--no-degradation", action="store_true",
+        help="disable the graceful-degradation ladder",
+    )
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -281,6 +320,93 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthetic_request(index: int, args: argparse.Namespace):
+    """One request of the synthetic mix, deterministic in ``index``.
+
+    The stream cycles through four classes: light uniform walks (60%),
+    heavy DeepWalk corpus jobs (20%), mid-priority node2vec (10%), and
+    deadline-tight lookups (10%).
+    """
+    from repro.service import WalkRequest
+
+    kind = index % 10
+    seed = args.seed * 7919 + index
+    if kind < 6:
+        return WalkRequest(
+            program=UniformWalk(),
+            config=WalkConfig(num_walkers=32, max_steps=10, seed=seed),
+            priority=0,
+            tag="light",
+        )
+    if kind < 8:
+        return WalkRequest(
+            program=DeepWalk(),
+            config=WalkConfig(num_walkers=256, max_steps=40, seed=seed),
+            priority=1,
+            tag="heavy",
+        )
+    if kind == 8:
+        return WalkRequest(
+            program=Node2Vec(p=2.0, q=0.5),
+            config=WalkConfig(num_walkers=64, max_steps=20, seed=seed),
+            priority=2,
+            tag="node2vec",
+        )
+    return WalkRequest(
+        program=UniformWalk(),
+        config=WalkConfig(num_walkers=32, max_steps=10, seed=seed),
+        priority=1,
+        deadline=args.tight_deadline_ms / 1000.0,
+        tag="tight",
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import DegradationPolicy, WalkService
+
+    graph = _load_graph(args)
+    print(f"graph: {graph}")
+    print(
+        f"service: {args.service_workers} workers, queue capacity "
+        f"{args.queue_capacity}, policy {args.policy}"
+    )
+    service = WalkService(
+        graph,
+        num_workers=args.service_workers,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.policy,
+        degradation=None if args.no_degradation else DegradationPolicy(),
+    )
+    tickets = []
+    for index in range(args.requests):
+        tickets.append(service.submit(_synthetic_request(index, args)))
+        if args.burst > 0 and (index + 1) % args.burst == 0:
+            time.sleep(0.002)  # bursty arrival: pressure waves, not a drip
+    service.close(wait=True)
+    responses = [ticket.wait(timeout=300.0) for ticket in tickets]
+
+    by_status: dict[str, int] = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    print(
+        "statuses: "
+        + " ".join(f"{k}={v}" for k, v in sorted(by_status.items()))
+    )
+    print(service.metrics.report())
+    metrics = service.metrics
+    balanced = service.accounting_balanced() and metrics.resolved == len(
+        responses
+    )
+    print(
+        f"accounting: submitted={metrics.submitted} "
+        f"served={metrics.served} shed={metrics.shed} "
+        f"failed={metrics.failed} exact={balanced}"
+    )
+    return 0 if balanced else 1
+
+
 def _run_info(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     stats = graph.degree_stats()
@@ -307,6 +433,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_bench(args)
         if args.command == "info":
             return _run_info(args)
+        if args.command == "serve":
+            return _run_serve(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -256,16 +256,28 @@ class DistributedWalkEngine(WalkEngine):
         self._executed_supersteps = 0
 
     # ------------------------------------------------------------------
-    def run(self, max_iterations: int | None = None) -> DistributedWalkResult:
+    def run(
+        self,
+        max_iterations: int | None = None,
+        deadline=None,
+        cancel=None,
+    ) -> DistributedWalkResult:
+        """Execute the distributed walk; same ``deadline`` / ``cancel``
+        semantics as :meth:`WalkEngine.run` — both are checked at the
+        BSP barrier between supersteps, so a partial result is always a
+        consistent superstep boundary (no in-flight messages)."""
         loop_start = time.perf_counter()
         if self.checkpoint_every is not None and self._checkpoint is None:
             # Recovery point zero: a crash before the first periodic
             # checkpoint replays from the initial state.
             self._take_checkpoint()
         executed = 0
-        while self.walkers.num_active and (
-            max_iterations is None or executed < max_iterations
-        ):
+        status = "complete"
+        while self.walkers.num_active:
+            stop = self._should_stop(executed, max_iterations, deadline, cancel)
+            if stop is not None:
+                status = stop
+                break
             self._superstep()
             executed += 1
         self.stats.wall_time_seconds += time.perf_counter() - loop_start
@@ -283,6 +295,7 @@ class DistributedWalkEngine(WalkEngine):
             stats=self.stats,
             walkers=self.walkers,
             paths=paths,
+            status=status,
             cluster=self.cluster,
         )
 

@@ -8,6 +8,7 @@ fixed walk length and/or a per-step termination probability.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -112,6 +113,16 @@ class WalkConfig:
             raise ConfigError("static_sampler must be 'alias' or 'its'")
         if self.checkpoint_every is not None and self.checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be non-negative")
+
+    def evolve(self, **changes) -> WalkConfig:
+        """A copy with the given fields replaced, re-validated.
+
+        The config is frozen, so derived configurations (per-shard
+        splits in :mod:`repro.parallel`, the degradation ladder in
+        :mod:`repro.service.degrade`) go through here — mutual-
+        exclusion and range checks re-run on the result.
+        """
+        return dataclasses.replace(self, **changes)
 
     def resolve_num_walkers(self, graph: CSRGraph) -> int:
         """Walker count after applying the |V| default."""

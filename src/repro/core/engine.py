@@ -61,11 +61,27 @@ ZERO_MASS_GUARD_TRIALS = 64
 
 @dataclass
 class WalkResult:
-    """Outcome of one walk execution."""
+    """Outcome of one walk execution.
+
+    ``status`` says how the run ended:
+
+    * ``"complete"`` — every walker terminated;
+    * ``"paused"`` — stopped by ``max_iterations`` with walkers alive
+      (the checkpoint/monitoring hook);
+    * ``"deadline_exceeded"`` — the deadline expired between iteration
+      batches; the result is a well-formed partial (stats, walker
+      positions, and any recorded path prefixes are all consistent);
+    * ``"cancelled"`` — a cancel token fired, same partial guarantees.
+    """
 
     stats: WalkStats
     walkers: WalkerSet
     paths: list[np.ndarray] | None
+    status: str = "complete"
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
 
     @property
     def walk_lengths(self) -> np.ndarray:
@@ -189,18 +205,54 @@ class WalkEngine:
         )
 
     # ------------------------------------------------------------------
-    def run(self, max_iterations: int | None = None) -> WalkResult:
+    def _should_stop(
+        self, executed: int, max_iterations, deadline, cancel
+    ) -> str | None:
+        """Between-iteration stop check shared by both engines.
+
+        Returns the result status that ends the run, or ``None`` to
+        keep going.  ``deadline`` and ``cancel`` are duck-typed
+        (``expired()`` / ``.cancelled``) so the core engine needs no
+        import of :mod:`repro.service`.
+        """
+        if max_iterations is not None and executed >= max_iterations:
+            return "paused"
+        if cancel is not None and cancel.cancelled:
+            return "cancelled"
+        if deadline is not None and deadline.expired():
+            return "deadline_exceeded"
+        return None
+
+    def run(
+        self,
+        max_iterations: int | None = None,
+        deadline=None,
+        cancel=None,
+    ) -> WalkResult:
         """Execute the walk and return the result.
 
         ``max_iterations`` stops the engine early (walkers stay alive
         in the returned result) — the hook used for monitoring and for
         checkpoint/resume (:mod:`repro.core.snapshot`).
+
+        ``deadline`` (an object with ``expired()``, e.g.
+        :class:`repro.service.Deadline`) and ``cancel`` (an object with
+        ``.cancelled``, e.g. :class:`repro.service.CancelToken`) turn
+        the loop into chunked cooperative execution: both are checked
+        between iteration batches, and an expired deadline or a fired
+        token stops the run with a partial, well-formed result tagged
+        ``"deadline_exceeded"`` / ``"cancelled"``.  Neither consumes
+        randomness, so a run that finishes before its deadline is
+        bit-identical to an unbounded run with the same seed.
         """
         loop_start = time.perf_counter()
         executed = 0
-        while self.walkers.num_active and (
-            max_iterations is None or executed < max_iterations
-        ):
+        status = "complete"
+        while self.walkers.num_active:
+            stop = self._should_stop(executed, max_iterations, deadline, cancel)
+            if stop is not None:
+                status = stop
+                break
             self._iteration()
             executed += 1
         self.stats.wall_time_seconds += time.perf_counter() - loop_start
@@ -211,7 +263,12 @@ class WalkEngine:
                     self._recorder.close()
             else:
                 paths = self._recorder.paths()
-        return WalkResult(stats=self.stats, walkers=self.walkers, paths=paths)
+        return WalkResult(
+            stats=self.stats,
+            walkers=self.walkers,
+            paths=paths,
+            status=status,
+        )
 
     # ------------------------------------------------------------------
     def _iteration(self) -> None:

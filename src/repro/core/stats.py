@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.sampling.rejection import SamplingCounters
 
-__all__ = ["WalkStats", "TerminationBreakdown"]
+__all__ = ["WalkStats", "TerminationBreakdown", "ServiceMetrics"]
 
 
 @dataclass
@@ -89,4 +91,100 @@ class WalkStats:
             f"pd_evals/step={self.pd_evaluations_per_step:.3f} "
             f"trials/step={self.trials_per_step:.3f} "
             f"wall={self.wall_time_seconds:.3f}s"
+        )
+
+
+@dataclass
+class ServiceMetrics:
+    """Accounting of the overload-robust serving layer.
+
+    The invariant the soak tests pin: every submitted request resolves
+    into exactly one of ``served`` / ``shed`` / ``failed``, so after a
+    drain ``submitted == served + shed + failed`` holds *exactly* —
+    requests are never double-counted or silently dropped.  ``served``
+    includes deadline-exceeded responses (they carry a well-formed
+    partial result); ``deadline_hits`` counts them separately.
+
+    Attributes
+    ----------
+    submitted / admitted:
+        requests offered to the service / accepted into the queue.
+    served:
+        requests that ran to a result (complete or deadline-partial).
+    shed:
+        requests rejected by admission control, evicted by a shedding
+        policy, or refused by the open circuit breaker
+        (``shed_reasons`` itemises why).
+    failed:
+        requests whose execution raised.
+    degraded:
+        served requests that ran with a degraded configuration.
+    deadline_hits:
+        served requests that returned a deadline-exceeded partial.
+    queue_depth_peak:
+        high watermark of the admission queue.
+    latencies_seconds:
+        submit-to-response latency per resolved request, the source of
+        the p50/p99 figures.
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    served: int = 0
+    shed: int = 0
+    failed: int = 0
+    degraded: int = 0
+    deadline_hits: int = 0
+    queue_depth_peak: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    latencies_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> int:
+        return self.served + self.shed + self.failed
+
+    def record_shed(self, reason: str) -> None:
+        self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies_seconds.append(seconds)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency at the given percentile (0 with no samples)."""
+        if not self.latencies_seconds:
+            return 0.0
+        return float(np.percentile(self.latencies_seconds, percentile))
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def accounting_balanced(self, pending: int = 0) -> bool:
+        """The exact conservation law, with ``pending`` still in
+        flight (0 after a drain)."""
+        return self.submitted == self.resolved + pending
+
+    def report(self) -> str:
+        shed_detail = (
+            " (" + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.shed_reasons.items())
+            ) + ")"
+            if self.shed_reasons
+            else ""
+        )
+        return (
+            f"service: submitted={self.submitted} admitted={self.admitted} "
+            f"served={self.served} shed={self.shed}{shed_detail} "
+            f"failed={self.failed}\n"
+            f"service: degraded={self.degraded} "
+            f"deadline_hits={self.deadline_hits} "
+            f"queue_peak={self.queue_depth_peak}\n"
+            f"service: latency p50={self.p50_latency * 1000.0:.2f}ms "
+            f"p99={self.p99_latency * 1000.0:.2f}ms"
         )

@@ -43,6 +43,55 @@ class SnapshotError(ReproError):
     not match the engine being restored."""
 
 
+class ServiceError(ReproError):
+    """Base class for failures of the overload-robust serving layer
+    (:mod:`repro.service`): admission, execution, and supervision
+    errors that concern a walk *request* rather than the walk itself."""
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised (by :meth:`repro.service.WalkTicket.raise_for_status`)
+    when a request's deadline expired before the walk completed.  The
+    engines themselves never raise this — they stop cooperatively and
+    return a partial result tagged ``deadline_exceeded`` — so partial
+    work is never lost to an exception."""
+
+
+class OverloadError(ServiceError):
+    """Raised when admission control sheds a request: the bounded queue
+    was full (or the circuit breaker open) and the configured
+    load-shedding policy rejected or evicted it."""
+
+
+class WorkerError(ServiceError):
+    """Raised by the supervised process pool when a worker process
+    fails: it died without reporting (e.g. OOM-killed), exceeded its
+    per-shard timeout, or raised — in which case the original traceback
+    is preserved in :attr:`worker_traceback`.
+
+    Attributes
+    ----------
+    shard:
+        index of the failed task/shard, or ``None``.
+    kind:
+        ``"exception"``, ``"died"``, ``"timeout"``, or ``"budget"``.
+    worker_traceback:
+        the worker-side traceback text for ``"exception"`` failures.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int | None = None,
+        kind: str = "died",
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.kind = kind
+        self.worker_traceback = worker_traceback
+
+
 class ClusterError(ReproError):
     """Raised by the distributed-execution simulator for protocol
     violations, e.g. a message addressed to a vertex nobody owns."""

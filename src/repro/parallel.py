@@ -13,15 +13,24 @@ section 3) that single-machine multicore execution goes a long way:
 for algorithms without cross-walker coordination, embarrassing
 parallelism is real.
 
+Execution is *supervised* (:class:`repro.service.pool.SupervisedPool`):
+a worker that dies (OOM kill, ``os._exit``) surfaces immediately as
+:class:`~repro.errors.WorkerError` naming the shard instead of
+blocking a bare ``pool.map`` forever, worker exceptions re-surface
+with their original traceback plus the shard index and seed, per-shard
+timeouts are enforced, and dead workers are restarted under a capped
+retry budget.  A ``deadline`` propagates into every shard engine's
+chunked run loop, so parallel runs return partial, well-formed results
+tagged ``deadline_exceeded`` just like single-engine runs.
+
 Implementation notes: workers are spawned via ``multiprocessing`` with
 the fork start method where available, so the CSR arrays are shared
-copy-on-write and never pickled.  On platforms without fork, arguments
-fall back to pickling (correct, slower).
+copy-on-write.  On platforms without fork, arguments fall back to
+pickling (correct, slower).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +41,9 @@ from repro.core.program import WalkerProgram
 from repro.core.stats import WalkStats
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
+from repro.service.breaker import RetryBudget
+from repro.service.deadline import Deadline
+from repro.service.pool import SupervisedPool
 
 __all__ = ["ParallelWalkResult", "run_parallel_walk", "shard_config"]
 
@@ -44,6 +56,7 @@ class ParallelWalkResult:
     paths: list[np.ndarray] | None
     walk_lengths: np.ndarray
     num_workers: int
+    status: str = "complete"
 
 
 def shard_config(
@@ -99,9 +112,9 @@ def shard_config(
 
 
 def _run_shard(args):
-    graph, program, shard_config_ = args
-    result = WalkEngine(graph, program, shard_config_).run()
-    return result.stats, result.paths, result.walkers.steps
+    graph, program, shard_config_, deadline = args
+    result = WalkEngine(graph, program, shard_config_).run(deadline=deadline)
+    return result.stats, result.paths, result.walkers.steps, result.status
 
 
 def run_parallel_walk(
@@ -109,31 +122,54 @@ def run_parallel_walk(
     program: WalkerProgram,
     config: WalkConfig | None = None,
     num_workers: int = 2,
+    deadline: Deadline | float | None = None,
+    shard_timeout: float | None = None,
+    max_restarts: int = 2,
+    retry_budget: RetryBudget | None = None,
 ) -> ParallelWalkResult:
     """Run a walk sharded across ``num_workers`` processes.
 
     With ``num_workers=1`` everything runs in-process (no pool), which
     is also the fallback used by tests on constrained platforms.
+
+    ``deadline`` (a :class:`~repro.service.deadline.Deadline` or a
+    float budget in seconds) propagates to every shard engine; the
+    merged result is tagged ``deadline_exceeded`` if any shard stopped
+    early.  ``shard_timeout`` is the supervision backstop: a shard
+    exceeding it is terminated and raised as
+    :class:`~repro.errors.WorkerError` (use a deadline for graceful
+    partials, the timeout for runaway shards).  A shard whose worker
+    *dies* is restarted up to ``max_restarts`` times (gated by the
+    optional shared ``retry_budget``) before ``WorkerError`` is raised.
     """
     config = config if config is not None else WalkConfig()
+    if isinstance(deadline, (int, float)):
+        deadline = Deadline(float(deadline))
     shards = shard_config(config, graph, num_workers)
+    payloads = [(graph, program, shard, deadline) for shard in shards]
 
     if len(shards) == 1 or num_workers == 1:
-        outputs = [_run_shard((graph, program, shard)) for shard in shards]
+        outputs = [_run_shard(payload) for payload in payloads]
     else:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context()
-        with context.Pool(processes=len(shards)) as pool:
-            outputs = pool.map(
-                _run_shard, [(graph, program, shard) for shard in shards]
-            )
+        pool = SupervisedPool(
+            max_workers=len(shards),
+            task_timeout=shard_timeout,
+            max_restarts=max_restarts,
+            retry_budget=retry_budget,
+        )
+        outputs = pool.run(
+            _run_shard,
+            payloads,
+            describe=lambda index: (
+                f"shard {index} (seed {shards[index].seed})"
+            ),
+        )
 
     merged = WalkStats()
     all_paths: list[np.ndarray] | None = [] if config.record_paths else None
     lengths = []
-    for stats, paths, steps in outputs:
+    status = "complete"
+    for stats, paths, steps, shard_status in outputs:
         merged.counters.merge(stats.counters)
         merged.termination.by_step_limit += stats.termination.by_step_limit
         merged.termination.by_probability += stats.termination.by_probability
@@ -149,10 +185,13 @@ def run_parallel_walk(
         if all_paths is not None and paths is not None:
             all_paths.extend(paths)
         lengths.append(steps)
+        if shard_status == "deadline_exceeded":
+            status = "deadline_exceeded"
 
     return ParallelWalkResult(
         stats=merged,
         paths=all_paths,
         walk_lengths=np.concatenate(lengths),
         num_workers=len(shards),
+        status=status,
     )

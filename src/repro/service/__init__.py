@@ -1,0 +1,47 @@
+"""Overload-robust serving layer over the walk engines.
+
+The engines (:mod:`repro.core.engine`, :mod:`repro.cluster.engine`,
+:mod:`repro.parallel`) execute walks as fast as they can; this package
+makes them *safe to put behind traffic*: bounded admission queues with
+load shedding, deadline propagation with cooperative cancellation,
+graceful degradation under pressure, a supervised process pool that
+cannot hang on a dead worker, and a circuit breaker that sheds fast
+when execution keeps failing.  See docs/INTERNALS.md §10 for the
+design tour and ``examples/overload.py`` for a bursty-stream demo.
+"""
+
+from repro.service.breaker import CircuitBreaker, RetryBudget
+from repro.service.deadline import CancelToken, Deadline
+from repro.service.degrade import DegradationPolicy, apply_degradation
+from repro.service.pool import SupervisedPool
+from repro.service.queue import SHED_POLICIES, AdmissionQueue
+from repro.service.request import (
+    DEADLINE_EXCEEDED,
+    FAILED,
+    OK,
+    SHED,
+    WalkRequest,
+    WalkResponse,
+    WalkTicket,
+)
+from repro.service.service import WalkService
+
+__all__ = [
+    "WalkService",
+    "WalkRequest",
+    "WalkResponse",
+    "WalkTicket",
+    "Deadline",
+    "CancelToken",
+    "AdmissionQueue",
+    "SHED_POLICIES",
+    "DegradationPolicy",
+    "apply_degradation",
+    "CircuitBreaker",
+    "RetryBudget",
+    "SupervisedPool",
+    "OK",
+    "DEADLINE_EXCEEDED",
+    "SHED",
+    "FAILED",
+]

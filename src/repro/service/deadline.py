@@ -1,0 +1,96 @@
+"""Deadlines and cooperative cancellation.
+
+Both engines' run loops accept these between iteration batches (see
+:meth:`repro.core.engine.WalkEngine.run`): an expired
+:class:`Deadline` or a fired :class:`CancelToken` stops the walk at
+the next batch boundary with a partial, well-formed result.  Neither
+object consumes randomness — bounding a run never changes the walk it
+samples, only where it stops.
+
+Deadlines are stored as an absolute ``time.monotonic`` timestamp, so a
+:class:`Deadline` created in the parent process stays valid inside
+forked/spawned workers (``CLOCK_MONOTONIC`` is system-wide per boot)
+and queue wait counts against the budget, which is the serving
+semantic a caller actually wants.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Deadline", "CancelToken"]
+
+
+class Deadline:
+    """An absolute point in monotonic time after which work must stop.
+
+    Parameters
+    ----------
+    timeout_seconds:
+        budget from *now*; :meth:`at` builds from an absolute
+        monotonic timestamp instead.
+    clock:
+        the time source, injectable for deterministic tests.  The
+        default (``time.monotonic``) is the only picklable choice —
+        deadlines crossing process boundaries must use it.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, timeout_seconds: float, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.expires_at = clock() + float(timeout_seconds)
+
+    @classmethod
+    def at(cls, monotonic_time: float, clock=time.monotonic) -> Deadline:
+        """A deadline at an absolute monotonic timestamp."""
+        deadline = cls.__new__(cls)
+        deadline._clock = clock
+        deadline.expires_at = float(monotonic_time)
+        return deadline
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def __getstate__(self):
+        if self._clock is not time.monotonic:
+            raise ValueError(
+                "only time.monotonic deadlines can cross process boundaries"
+            )
+        return self.expires_at
+
+    def __setstate__(self, state) -> None:
+        self._clock = time.monotonic
+        self.expires_at = state
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.4f}s)"
+
+
+class CancelToken:
+    """A thread-safe latch requesting cooperative cancellation.
+
+    The engines poll :attr:`cancelled` between iteration batches;
+    :meth:`cancel` is idempotent and safe from any thread (e.g. a
+    service worker cancelling the requests of a shut-down queue).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"CancelToken(cancelled={self.cancelled})"

@@ -1,0 +1,108 @@
+"""Graceful degradation under sustained pressure.
+
+When the admission queue stays deep, shedding alone is a blunt tool:
+it serves some requests fully and others not at all.  The degradation
+ladder instead trades per-request *fidelity* for throughput by
+documented, monotone rules keyed on queue fullness (depth/capacity) at
+the moment a request starts executing:
+
+1. ``pressure >= drop_paths_at``   — stop recording full walk paths
+   (the dominant memory cost of a request);
+2. ``pressure >= cap_steps_at``    — cap ``max_steps`` at
+   ``max_steps_cap`` (bounded CPU per walker);
+3. ``pressure >= shrink_walkers_at`` — scale the walker count by
+   ``walker_fraction`` (bounded CPU per request).
+
+Each rung subsumes the ones below it, so a response's recorded
+``degradations`` tuple is always a prefix of the ladder — callers can
+reason about exactly what they got.  Degradation changes *what walk
+was requested*, never how it is sampled: the downgraded config runs
+through the ordinary engine with the original seed, and an undegraded
+request (pressure below every threshold) is bit-identical to a direct
+engine run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import WalkConfig
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DegradationPolicy", "apply_degradation"]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds and magnitudes of the degradation ladder.
+
+    Thresholds are queue-fullness fractions in (0, 1]; a rung set to a
+    value > 1 never triggers.  ``min_walkers`` floors the shrink rung
+    so a degraded request still does observable work.
+    """
+
+    drop_paths_at: float = 0.50
+    cap_steps_at: float = 0.75
+    shrink_walkers_at: float = 0.90
+    max_steps_cap: int = 20
+    walker_fraction: float = 0.25
+    min_walkers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.drop_paths_at <= self.cap_steps_at <= self.shrink_walkers_at:
+            raise ConfigError(
+                "degradation thresholds must be ordered: drop_paths_at "
+                "<= cap_steps_at <= shrink_walkers_at"
+            )
+        if self.max_steps_cap <= 0:
+            raise ConfigError("max_steps_cap must be positive")
+        if not 0.0 < self.walker_fraction <= 1.0:
+            raise ConfigError("walker_fraction must be in (0, 1]")
+        if self.min_walkers <= 0:
+            raise ConfigError("min_walkers must be positive")
+
+
+def apply_degradation(
+    config: WalkConfig,
+    graph: CSRGraph,
+    pressure: float,
+    policy: DegradationPolicy,
+) -> tuple[WalkConfig, tuple[str, ...]]:
+    """Downgrade ``config`` for the observed queue pressure.
+
+    Returns the (possibly unchanged) config and the tuple of applied
+    rung labels, recorded verbatim on the response.  Rungs that would
+    not change the config (e.g. paths were never recorded) are
+    skipped, so the labels list only *actual* downgrades.
+    """
+    applied: list[str] = []
+    changes: dict = {}
+
+    if pressure >= policy.drop_paths_at and config.record_paths:
+        changes["record_paths"] = False
+        applied.append("drop_record_paths")
+
+    if pressure >= policy.cap_steps_at and (
+        config.max_steps is None or config.max_steps > policy.max_steps_cap
+    ):
+        changes["max_steps"] = policy.max_steps_cap
+        applied.append(f"cap_max_steps:{policy.max_steps_cap}")
+
+    if pressure >= policy.shrink_walkers_at:
+        total = config.resolve_num_walkers(graph)
+        shrunk = max(
+            policy.min_walkers, int(total * policy.walker_fraction)
+        )
+        if shrunk < total:
+            # walks_per_vertex resolves to a concrete count here, so
+            # the two exclusive fields collapse into num_walkers.
+            changes["num_walkers"] = shrunk
+            changes["walks_per_vertex"] = None
+            if config.start_vertices is not None:
+                changes["start_vertices"] = config.start_vertices[:shrunk]
+            applied.append(f"shrink_walkers:{shrunk}")
+
+    if not changes:
+        return config, ()
+    return config.evolve(**changes), tuple(applied)

@@ -1,0 +1,141 @@
+"""Bounded admission queue with pluggable load-shedding policies.
+
+Admission control is the first robustness layer: an unbounded queue
+turns overload into unbounded latency for *everyone*, while a bounded
+queue converts excess load into explicit, accounted shed decisions.
+Three policies (chosen at construction):
+
+* ``"reject-newest"`` — a full queue rejects the incoming request
+  (classic tail drop; oldest work is never wasted);
+* ``"reject-oldest"`` — a full queue evicts the head to admit the
+  newcomer (freshest-first; the evicted request has waited longest and
+  is the most likely to be past its deadline anyway);
+* ``"priority"`` — a full queue evicts the lowest-priority entry,
+  newest among ties, if it is strictly lower-priority than the
+  newcomer; otherwise the newcomer is rejected.  Dequeue order is also
+  priority-aware (highest first, FIFO among equals).
+
+Every :meth:`offer` returns both the admission verdict and the evicted
+entries, so the caller can resolve each shed request exactly once —
+the accounting identity ``submitted == served + shed + failed``
+depends on nothing ever vanishing silently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import ConfigError
+
+__all__ = ["AdmissionQueue", "SHED_POLICIES"]
+
+SHED_POLICIES = ("reject-newest", "reject-oldest", "priority")
+
+
+class AdmissionQueue:
+    """A thread-safe bounded queue of prioritised entries."""
+
+    def __init__(self, capacity: int, policy: str = "reject-newest") -> None:
+        if capacity <= 0:
+            raise ConfigError("queue capacity must be positive")
+        if policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"unknown shed policy {policy!r}; choose from {SHED_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # (priority, sequence, item); sequence breaks ties FIFO.
+        self._entries: list[tuple[int, int, Any]] = []
+        self._sequence = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def offer(self, item: Any, priority: int = 0) -> tuple[bool, list[Any]]:
+        """Try to admit ``item``.
+
+        Returns ``(admitted, evicted)``: whether the item entered the
+        queue, and the list of entries the shedding policy evicted to
+        make room (empty except under ``reject-oldest``/``priority``).
+        """
+        with self._lock:
+            if self._closed:
+                return False, []
+            evicted: list[Any] = []
+            if len(self._entries) >= self.capacity:
+                victim = self._select_victim(priority)
+                if victim is None:
+                    return False, []
+                self._entries.remove(victim)
+                evicted.append(victim[2])
+            self._entries.append((priority, self._sequence, item))
+            self._sequence += 1
+            self._not_empty.notify()
+            return True, evicted
+
+    def _select_victim(self, incoming_priority: int):
+        """The entry to evict for an incoming request, or ``None`` to
+        reject the newcomer instead."""
+        if self.policy == "reject-newest":
+            return None
+        if self.policy == "reject-oldest":
+            return min(self._entries, key=lambda entry: entry[1])
+        # priority: lowest priority, newest among ties (it has waited
+        # the least, so evicting it wastes the least queueing).
+        victim = min(self._entries, key=lambda e: (e[0], -e[1]))
+        return victim if victim[0] < incoming_priority else None
+
+    # ------------------------------------------------------------------
+    def take(self, timeout: float | None = None) -> Any | None:
+        """Pop the next entry, waiting up to ``timeout``; ``None`` on
+        timeout or when the queue is closed and drained."""
+        with self._not_empty:
+            if not self._entries:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            if not self._entries:
+                return None
+            if self.policy == "priority":
+                entry = max(self._entries, key=lambda e: (e[0], -e[1]))
+                self._entries.remove(entry)
+            else:
+                entry = self._entries.pop(0)
+            return entry[2]
+
+    def drain(self) -> list[Any]:
+        """Remove and return every queued entry (dequeue order)."""
+        items = []
+        while True:
+            with self._lock:
+                if not self._entries:
+                    return items
+            item = self.take(timeout=0)
+            if item is None:
+                return items
+            items.append(item)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse further offers and wake blocked takers."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def fullness(self) -> float:
+        """Queue pressure in [0, 1] — the degradation ladder's input."""
+        return self.depth() / self.capacity
+
+    def __len__(self) -> int:
+        return self.depth()

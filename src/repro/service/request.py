@@ -1,0 +1,154 @@
+"""Walk requests, responses, and the ticket callers wait on.
+
+A :class:`WalkRequest` is everything needed to execute one walk
+through the service: the program, the configuration, an optional
+per-request graph (else the service default), a priority for the
+shedding policy, a deadline, and an optional shard count for
+multi-process execution.  The service resolves every submitted request
+into exactly one :class:`WalkResponse`, delivered through the
+:class:`WalkTicket` returned by ``submit`` — including shed requests,
+so nothing a caller submitted can dangle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkResult
+from repro.core.program import WalkerProgram
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
+from repro.service.deadline import CancelToken, Deadline
+
+__all__ = [
+    "WalkRequest",
+    "WalkResponse",
+    "WalkTicket",
+    "OK",
+    "DEADLINE_EXCEEDED",
+    "SHED",
+    "FAILED",
+]
+
+# Response statuses.
+OK = "ok"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+SHED = "shed"
+FAILED = "failed"
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class WalkRequest:
+    """One walk execution request.
+
+    ``deadline`` may be a :class:`~repro.service.deadline.Deadline`
+    or a float budget in seconds — a float starts counting at
+    *submission*, so queueing time spends the budget (the serving
+    semantic: a caller waiting 50 ms for a 50 ms-deadline answer does
+    not care which side of the queue the time went).
+    """
+
+    program: WalkerProgram
+    config: WalkConfig = field(default_factory=WalkConfig)
+    graph: object | None = None
+    priority: int = 0
+    deadline: Deadline | float | None = None
+    num_shards: int = 1
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    tag: str = ""
+
+
+@dataclass
+class WalkResponse:
+    """The service's verdict on one request.
+
+    Exactly one of the four statuses; ``result`` is present for ``OK``
+    *and* for ``DEADLINE_EXCEEDED`` (a well-formed partial result —
+    consistent stats, walker positions, and path prefixes up to the
+    last completed iteration batch).
+    """
+
+    request_id: int
+    status: str
+    result: WalkResult | None = None
+    degradations: tuple[str, ...] = ()
+    shed_reason: str | None = None
+    error: str | None = None
+    wait_seconds: float = 0.0
+    run_seconds: float = 0.0
+    tag: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class WalkTicket:
+    """A handle on an in-flight request.
+
+    Thread-safe: the service resolves it exactly once; any number of
+    threads may :meth:`wait` on it.  :meth:`cancel` requests
+    cooperative cancellation — a queued request resolves as shed, a
+    running one stops at the next iteration batch.
+    """
+
+    def __init__(self, request: WalkRequest, deadline: Deadline | None,
+                 submitted_at: float) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+        self.cancel_token = CancelToken()
+        self._done = threading.Event()
+        self._response: WalkResponse | None = None
+
+    # -- service side --------------------------------------------------
+    def resolve(self, response: WalkResponse) -> None:
+        if self._response is None:
+            self._response = response
+            self._done.set()
+
+    # -- caller side ---------------------------------------------------
+    def cancel(self) -> None:
+        self.cancel_token.cancel()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> WalkResponse:
+        if not self._done.wait(timeout):
+            raise ServiceError(
+                f"request {self.request.request_id} not resolved within "
+                f"{timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def result(self, timeout: float | None = None) -> WalkResponse:
+        """Alias of :meth:`wait` (concurrent.futures idiom)."""
+        return self.wait(timeout)
+
+    def raise_for_status(self, timeout: float | None = None) -> WalkResponse:
+        """Wait, then map non-OK statuses onto the error hierarchy."""
+        response = self.wait(timeout)
+        if response.status == SHED:
+            raise OverloadError(
+                f"request {response.request_id} shed: {response.shed_reason}"
+            )
+        if response.status == DEADLINE_EXCEEDED:
+            raise DeadlineExceededError(
+                f"request {response.request_id} exceeded its deadline "
+                f"after {response.run_seconds:.4f}s of execution"
+            )
+        if response.status == FAILED:
+            raise ServiceError(
+                f"request {response.request_id} failed: {response.error}"
+            )
+        return response

@@ -56,6 +56,13 @@ def test_fault_tolerance():
     assert "robustness bill" in output
 
 
+def test_overload():
+    output = run_example("overload.py", timeout=300)
+    assert "shed reasons:" in output
+    assert "accounting exact:" in output
+    assert "-> True" in output  # the conservation law held
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -67,6 +74,7 @@ def test_fault_tolerance():
         "embedding_pipeline.py",
         "distributed_simulation.py",
         "fault_tolerance.py",
+        "overload.py",
     ],
 )
 def test_example_files_are_importable(name):

@@ -1,12 +1,15 @@
 """Tests for multi-process walk execution."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.algorithms import DeepWalk, Node2Vec, PPR, UniformWalk
 from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerError
 from repro.graph.generators import uniform_degree_graph
 from repro.parallel import run_parallel_walk, shard_config
 
@@ -53,6 +56,45 @@ class TestShardConfig:
     def test_invalid_shards(self, graph):
         with pytest.raises(ConfigError):
             shard_config(WalkConfig(num_walkers=5), graph, 0)
+
+    def test_start_vertices_shorter_than_walkers_rejected(self, graph):
+        config = WalkConfig(
+            num_walkers=10,
+            max_steps=5,
+            start_vertices=np.zeros(4, dtype=np.int64),
+        )
+        with pytest.raises(ConfigError, match="4 start vertices"):
+            shard_config(config, graph, 2)
+        with pytest.raises(ConfigError, match="4 start vertices"):
+            run_parallel_walk(graph, UniformWalk(), config, num_workers=2)
+
+    def test_seed_streams_independent_across_shards(self, graph):
+        """Shards with identical starts must not replay each other."""
+        config = WalkConfig(
+            num_walkers=40,
+            max_steps=12,
+            record_paths=True,
+            seed=7,
+            start_vertices=np.zeros(40, dtype=np.int64),
+        )
+        shards = shard_config(config, graph, 2)
+        results = [
+            WalkEngine(graph, UniformWalk(), shard).run() for shard in shards
+        ]
+        identical = sum(
+            np.array_equal(a, b)
+            for a, b in zip(results[0].paths, results[1].paths)
+        )
+        # A handful of 12-step coincidences is plausible; wholesale
+        # duplication means the shards shared a random stream.
+        assert identical < len(results[0].paths) // 2
+
+    def test_shard_seeds_differ_across_base_seeds(self, graph):
+        config_a = WalkConfig(num_walkers=8, max_steps=5, seed=1)
+        config_b = WalkConfig(num_walkers=8, max_steps=5, seed=2)
+        seeds_a = {s.seed for s in shard_config(config_a, graph, 4)}
+        seeds_b = {s.seed for s in shard_config(config_b, graph, 4)}
+        assert not seeds_a & seeds_b
 
 
 class TestParallelExecution:
@@ -118,3 +160,85 @@ class TestParallelExecution:
         assert parallel.stats.pd_evaluations_per_step == pytest.approx(
             single.stats.pd_evaluations_per_step, rel=0.15
         )
+
+
+class RaisingWalk(UniformWalk):
+    """Raises during walker setup inside the worker process."""
+
+    def setup_walkers(self, graph, walkers, rng):
+        raise ValueError("bad start table")
+
+
+class DyingWalk(UniformWalk):
+    """Kills its worker process outright (simulated OOM kill)."""
+
+    def setup_walkers(self, graph, walkers, rng):
+        os._exit(23)
+
+
+class TestSupervision:
+    """The supervised pool: death, exceptions, timeouts, deadlines."""
+
+    def test_dead_worker_raises_promptly(self, graph):
+        """Regression for the bare pool.map hang on worker death."""
+        config = WalkConfig(num_walkers=8, max_steps=4)
+        started = time.monotonic()
+        with pytest.raises(WorkerError) as info:
+            run_parallel_walk(
+                graph, DyingWalk(), config, num_workers=2, max_restarts=0
+            )
+        assert time.monotonic() - started < 60.0
+        assert info.value.kind == "died"
+        assert info.value.shard in (0, 1)
+        message = str(info.value)
+        assert "shard" in message and "seed" in message
+
+    def test_dead_worker_exhausts_restarts(self, graph):
+        config = WalkConfig(num_walkers=8, max_steps=4)
+        with pytest.raises(WorkerError, match="attempt"):
+            run_parallel_walk(
+                graph, DyingWalk(), config, num_workers=2, max_restarts=1
+            )
+
+    def test_worker_exception_preserves_context(self, graph):
+        config = WalkConfig(num_walkers=8, max_steps=4, seed=42)
+        shards = shard_config(config, graph, 2)
+        with pytest.raises(WorkerError) as info:
+            run_parallel_walk(graph, RaisingWalk(), config, num_workers=2)
+        error = info.value
+        assert error.kind == "exception"
+        assert error.shard in (0, 1)
+        # Original exception and the worker-side traceback survive.
+        assert "bad start table" in str(error)
+        assert str(shards[error.shard].seed) in str(error)
+        assert "setup_walkers" in error.worker_traceback
+        assert "ValueError" in error.worker_traceback
+
+    def test_shard_timeout_raises_worker_error(self, graph):
+        config = WalkConfig(num_walkers=8, max_steps=4)
+
+        class SleepyWalk(UniformWalk):
+            def setup_walkers(self, inner_graph, walkers, rng):
+                time.sleep(60.0)
+
+        started = time.monotonic()
+        with pytest.raises(WorkerError) as info:
+            run_parallel_walk(
+                graph, SleepyWalk(), config, num_workers=2, shard_timeout=0.5
+            )
+        assert info.value.kind == "timeout"
+        assert time.monotonic() - started < 30.0
+
+    def test_deadline_propagates_to_shards(self, graph):
+        config = WalkConfig(num_walkers=20, max_steps=50, record_paths=True)
+        result = run_parallel_walk(
+            graph, UniformWalk(), config, num_workers=2, deadline=0.0
+        )
+        assert result.status == "deadline_exceeded"
+        assert result.walk_lengths.size == 20
+        assert all(len(path) >= 1 for path in result.paths)
+
+    def test_no_deadline_status_complete(self, graph):
+        config = WalkConfig(num_walkers=10, max_steps=5)
+        result = run_parallel_walk(graph, UniformWalk(), config, num_workers=2)
+        assert result.status == "complete"
