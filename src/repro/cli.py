@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows without writing Python:
+Six subcommands cover the common workflows without writing Python:
 
-* ``walk``  — run any built-in algorithm on a dataset stand-in or an
+* ``walk``     — run any built-in algorithm on a dataset stand-in or an
   edge-list file, print statistics, optionally dump the walk corpus;
-* ``bench`` — regenerate one of the paper's tables/figures;
-* ``info``  — print a graph's size and degree profile;
-* ``serve`` — drive a synthetic request stream through the
-  overload-robust walk service and print its accounting.
+* ``bench``    — regenerate one of the paper's tables/figures;
+* ``info``     — print a graph's size and degree profile;
+* ``serve``    — drive a synthetic request stream through the
+  overload-robust walk service and print its accounting;
+* ``lint``     — run the determinism & distributed-safety static
+  analyzer (:mod:`repro.lint`); exits non-zero on findings;
+* ``sanitize`` — run a workload twice under the runtime determinism
+  sanitizer and report the first divergence, if any.
 
 Examples::
 
@@ -17,6 +21,9 @@ Examples::
     python -m repro.cli info --dataset friendster --scale 0.5
     python -m repro.cli serve --dataset livejournal --scale 0.1 \\
         --requests 200 --service-workers 4 --policy priority
+    python -m repro.cli lint src/repro --strict
+    python -m repro.cli sanitize --algorithm node2vec --dataset twitter \\
+        --scale 0.05 --nodes 4
 """
 
 from __future__ import annotations
@@ -175,6 +182,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the graceful-degradation ladder",
     )
     serve.add_argument("--seed", type=int, default=0)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="determinism & distributed-safety static analysis",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
+    sanitize = subparsers.add_parser(
+        "sanitize",
+        help="run a workload twice under the determinism sanitizer and "
+        "report the first divergence",
+    )
+    _add_graph_arguments(sanitize)
+    sanitize.add_argument("--algorithm", choices=ALGORITHMS, default="deepwalk")
+    sanitize.add_argument("--walkers", type=int, default=None, help="default |V|")
+    sanitize.add_argument("--length", type=int, default=20)
+    sanitize.add_argument(
+        "--termination", type=float, default=0.0,
+        help="per-step stop probability (PPR-style Pe)",
+    )
+    sanitize.add_argument("--p", type=float, default=2.0, help="node2vec return")
+    sanitize.add_argument("--q", type=float, default=0.5, help="node2vec in-out")
+    sanitize.add_argument(
+        "--restart", type=float, default=0.15, help="rwr restart probability"
+    )
+    sanitize.add_argument(
+        "--nodes", type=int, default=0,
+        help="simulate a cluster of this many nodes (0 = local engine)",
+    )
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument(
+        "--runs", type=int, default=2,
+        help="how many executions to trace and compare",
+    )
     return parser
 
 
@@ -407,6 +450,32 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0 if balanced else 1
 
 
+def _run_sanitize(args: argparse.Namespace) -> int:
+    from repro.lint.sanitizer import run_sanitized
+
+    graph = _load_graph(args)
+    program, graph = _build_program(args, graph)
+    config = WalkConfig(
+        num_walkers=args.walkers,
+        max_steps=args.length,
+        termination_probability=args.termination,
+        seed=args.seed,
+    )
+    print(f"graph: {graph}")
+    print(f"algorithm: {program!r}")
+
+    def factory():
+        if args.nodes > 0:
+            return DistributedWalkEngine(
+                graph, program, config, num_nodes=args.nodes
+            )
+        return WalkEngine(graph, program, config)
+
+    report = run_sanitized(factory, runs=args.runs)
+    print(report.summary())
+    return 0 if report.deterministic else 1
+
+
 def _run_info(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     stats = graph.degree_stats()
@@ -435,6 +504,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_info(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint
+
+            return run_lint(args)
+        if args.command == "sanitize":
+            return _run_sanitize(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -256,6 +256,25 @@ class DistributedWalkEngine(WalkEngine):
         self._executed_supersteps = 0
 
     # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Distributed seam: additionally trace message deliveries.
+
+        Every :meth:`Network.record_batch` — state queries, query
+        responses, walker migrations — lands in the trace in protocol
+        order, so two runs whose walks agree but whose delivery order
+        differs diverge at the first reordered batch.
+        """
+        super().attach_tracer(tracer)
+        network = self.network
+        original_record = network.record_batch
+
+        def traced_record(kind, sources, destinations):
+            tracer.record_delivery(kind.name, sources, destinations)
+            return original_record(kind, sources, destinations)
+
+        network.record_batch = traced_record
+
+    # ------------------------------------------------------------------
     def run(
         self,
         max_iterations: int | None = None,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -114,7 +115,7 @@ class WalkConfig:
         if self.checkpoint_every is not None and self.checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be non-negative")
 
-    def evolve(self, **changes) -> WalkConfig:
+    def evolve(self, **changes: Any) -> WalkConfig:
         """A copy with the given fields replaced, re-validated.
 
         The config is frozen, so derived configurations (per-shard

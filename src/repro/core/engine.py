@@ -205,6 +205,33 @@ class WalkEngine:
         )
 
     # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Route every RNG draw and walker transition through *tracer*.
+
+        The seam of the runtime determinism sanitizer
+        (:mod:`repro.lint.sanitizer`): ``tracer`` is duck-typed —
+        ``trace_rng(rng)`` returns a drop-in generator proxy and
+        ``record_transition(kind, ids, targets)`` observes every
+        ``move``/``kill`` — so this module needs no lint import.  Must
+        be called before :meth:`run`; the walk itself is unchanged
+        (tracing consumes no randomness), only observed.
+        """
+        self._rng = tracer.trace_rng(self._rng)
+        walkers = self.walkers
+        original_move, original_kill = walkers.move, walkers.kill
+
+        def traced_move(walker_ids, new_vertices):
+            tracer.record_transition("move", walker_ids, new_vertices)
+            return original_move(walker_ids, new_vertices)
+
+        def traced_kill(walker_ids):
+            tracer.record_transition("kill", walker_ids, None)
+            return original_kill(walker_ids)
+
+        walkers.move = traced_move
+        walkers.kill = traced_kill
+
+    # ------------------------------------------------------------------
     def _should_stop(
         self, executed: int, max_iterations, deadline, cancel
     ) -> str | None:

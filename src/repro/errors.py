@@ -92,6 +92,12 @@ class WorkerError(ServiceError):
         self.worker_traceback = worker_traceback
 
 
+class LintError(ReproError):
+    """Raised by the static analyzer's infrastructure (not by rule
+    findings): unreadable source or baseline files, malformed
+    suppression comments, or an unknown rule id in a suppression."""
+
+
 class ClusterError(ReproError):
     """Raised by the distributed-execution simulator for protocol
     violations, e.g. a message addressed to a vertex nobody owns."""

@@ -1,0 +1,44 @@
+"""``repro.lint`` — determinism & distributed-safety static analysis.
+
+A project-specific, stdlib-only (``ast``-driven) linter enforcing the
+invariants this reproduction's correctness rests on:
+
+* **RNG discipline** (RK101-RK103) — every random draw comes from an
+  explicitly seeded ``np.random.Generator``; no stdlib ``random``, no
+  unseeded ``default_rng()``, no legacy numpy global state.
+* **Simulated-time purity** (RK201) — no wall-clock reads inside the
+  cluster simulator, so replay stays bit-identical.
+* **Cross-process safety** (RK301-RK302) — callables and payloads
+  crossing process boundaries must survive pickling everywhere, not
+  just under ``fork``.
+* **Generic hygiene** (RK401-RK403) — mutable defaults, bare
+  ``except:``, and unsorted set iteration.
+
+Findings can be suppressed per line (``# lint: disable=RK101 --
+reason``) or absorbed by a checked-in count-based baseline
+(``lint-baseline.json``); see :mod:`repro.lint.baseline`.
+
+The *runtime* counterpart — the determinism sanitizer that records a
+rolling hash of every RNG draw, message delivery, and walker
+transition, and localises the first divergence between two runs —
+lives in :mod:`repro.lint.sanitizer`.  It is not imported here because
+it needs numpy and the engines; the static analyzer deliberately
+imports neither.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import DEFAULT_RULES, Linter, LintReport, rule_catalog
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULES",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Linter",
+    "Rule",
+    "Severity",
+    "rule_catalog",
+]

@@ -1,0 +1,26 @@
+"""``python -m repro.lint`` — the static analyzer without the engines.
+
+This entry point imports only stdlib modules, so source hygiene can be
+checked in environments without numpy (pre-commit hooks, slim CI
+images).  ``repro lint`` (the main CLI) routes here too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.cli import add_lint_arguments, run_lint
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & distributed-safety static analyzer",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

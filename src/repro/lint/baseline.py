@@ -1,0 +1,121 @@
+"""Checked-in lint baseline: legacy findings that don't block CI.
+
+The baseline is a JSON file mapping ``path -> rule_id -> count``.  When
+the linter runs, up to ``count`` findings of that rule in that file are
+marked *baselined* — still reported, never fatal — while the
+``count+1``-th finding (someone added a new violation to a grandfathered
+file) fails normally.  Counts, not line numbers: the baseline survives
+unrelated edits that shift lines, and shrinks monotonically as legacy
+findings are fixed (``repro lint --update-baseline`` rewrites it from
+the current findings).
+
+Intentional violations should NOT live here — they get an inline
+``# lint: disable=RKxxx -- reason`` so the justification sits next to
+the code.  The baseline is only for debt scheduled to be paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import PurePosixPath
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Count-based (path, rule) absorption of legacy findings."""
+
+    def __init__(self, entries: dict[str, dict[str, int]] | None = None) -> None:
+        self.entries: dict[str, dict[str, int]] = entries if entries else {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"unreadable baseline {path!r}: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            raise LintError(
+                f"baseline {path!r} is not a version-{_FORMAT_VERSION} "
+                "lint baseline"
+            )
+        entries: dict[str, dict[str, int]] = {}
+        for file_path, rules in payload["entries"].items():
+            if not isinstance(rules, dict):
+                raise LintError(f"baseline entry for {file_path!r} malformed")
+            entries[file_path] = {
+                str(rule): int(count) for rule, count in rules.items()
+            }
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {
+                file_path: dict(sorted(rules.items()))
+                for file_path, rules in sorted(self.entries.items())
+                if rules
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(path: str) -> str:
+        return str(PurePosixPath(path.replace("\\", "/")))
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Mark absorbed findings; returns the same findings re-built.
+
+        Findings are absorbed in file order (earliest lines first), so
+        the ``count+1``-th occurrence — the newly added one, in the
+        common append case — is the one that stays fatal.
+        """
+        budget = {
+            (self._normalise(file_path), rule): count
+            for file_path, rules in self.entries.items()
+            for rule, count in rules.items()
+        }
+        out: list[Finding] = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.column)):
+            key = (self._normalise(finding.path), finding.rule_id)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                out.append(
+                    Finding(
+                        rule_id=finding.rule_id,
+                        path=finding.path,
+                        line=finding.line,
+                        column=finding.column,
+                        message=finding.message,
+                        severity=finding.severity,
+                        baselined=True,
+                    )
+                )
+            else:
+                out.append(finding)
+        return out
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: Counter[tuple[str, str]] = Counter(
+            (cls._normalise(f.path), f.rule_id) for f in findings
+        )
+        entries: dict[str, dict[str, int]] = {}
+        for (file_path, rule), count in counts.items():
+            entries.setdefault(file_path, {})[rule] = count
+        return cls(entries)

@@ -1,0 +1,109 @@
+"""Command-line driver for ``repro lint``.
+
+Kept separate from :mod:`repro.cli` so the static analyzer stays
+importable without numpy (the main CLI imports the engines at module
+load; CI lint jobs shouldn't need a working numerical stack to check
+source hygiene).  :func:`run_lint` is the single entry point: it
+returns the process exit code — 0 on clean (modulo baseline), 1 on any
+blocking finding — so it composes with CI and pre-commit.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.engine import DEFAULT_RULES, Linter, rule_catalog
+
+__all__ = ["run_lint", "DEFAULT_BASELINE_NAME", "add_lint_arguments"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the ``repro lint`` argument set to *parser*."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings and stale suppressions too, not just errors",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; every finding counts",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="PATH",
+        help="skip this file or directory (repeatable; used to carve "
+        "the deliberately-bad lint fixtures out of a tests/ scan)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _resolve_baseline_path(args) -> str | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    return DEFAULT_BASELINE_NAME if os.path.exists(DEFAULT_BASELINE_NAME) else None
+
+
+def run_lint(args, stdout=None) -> int:
+    """Execute a lint run described by parsed *args*; returns exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if args.rules:
+        for rule_id, severity, description in rule_catalog(DEFAULT_RULES):
+            print(f"{rule_id} [{severity}] {description}", file=out)
+        return 0
+
+    baseline_path = _resolve_baseline_path(args)
+    try:
+        if args.update_baseline:
+            # Build the baseline from a run WITHOUT one, so existing
+            # entries don't mask what the update should record.
+            linter = Linter(root=os.getcwd(), exclude=tuple(args.exclude))
+            report = linter.lint_paths(list(args.paths))
+            target = baseline_path if baseline_path else DEFAULT_BASELINE_NAME
+            Baseline.from_findings(report.findings).save(target)
+            print(
+                f"baseline {target} updated with "
+                f"{len(report.findings)} finding(s)",
+                file=out,
+            )
+            return 0
+
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path is not None else None
+        )
+        linter = Linter(
+            baseline=baseline, root=os.getcwd(), exclude=tuple(args.exclude)
+        )
+        report = linter.lint_paths(list(args.paths))
+    except LintError as exc:
+        print(f"lint error: {exc}", file=out)
+        return 2
+    print(report.format(), file=out)
+    code = report.exit_code(strict=args.strict)
+    if code:
+        blocking = report.blocking(strict=args.strict)
+        print(
+            f"FAILED: {len(blocking)} blocking finding(s)"
+            + (" (strict)" if args.strict else ""),
+            file=out,
+        )
+    return code

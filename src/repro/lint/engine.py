@@ -1,0 +1,263 @@
+"""The lint driver: file discovery, suppressions, baseline, reporting.
+
+:class:`Linter` runs every registered rule over every Python file under
+the given paths and post-processes raw findings through two filters:
+
+1. inline suppressions — ``# lint: disable=RK101,RK201 -- reason``
+   on the offending line removes those findings (and an *unused*
+   suppression is itself reported as ``RK001``, so stale disables
+   can't accumulate);
+2. the checked-in :class:`~repro.lint.baseline.Baseline`, which marks
+   grandfathered findings non-fatal without hiding them.
+
+The result is a :class:`LintReport` whose :meth:`LintReport.exit_code`
+encodes the CI contract: non-zero iff a non-baselined finding blocks at
+the requested strictness.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule
+from repro.lint.rules_generic import (
+    BareExceptRule,
+    MutableDefaultRule,
+    SetIterationRule,
+)
+from repro.lint.rules_process import NonModuleCallableRule, UnpicklablePayloadRule
+from repro.lint.rules_rng import (
+    LegacyNumpyRandomRule,
+    StdlibRandomRule,
+    UnseededGeneratorRule,
+)
+from repro.lint.rules_time import WallClockRule
+
+__all__ = ["Linter", "LintReport", "DEFAULT_RULES", "rule_catalog"]
+
+DEFAULT_RULES: tuple[type[Rule], ...] = (
+    StdlibRandomRule,
+    UnseededGeneratorRule,
+    LegacyNumpyRandomRule,
+    WallClockRule,
+    NonModuleCallableRule,
+    UnpicklablePayloadRule,
+    MutableDefaultRule,
+    BareExceptRule,
+    SetIterationRule,
+)
+
+# RK001 is reserved for the meta-finding "this suppression suppresses
+# nothing"; it is not a rule class because it falls out of the
+# suppression bookkeeping rather than an AST pass.
+_UNUSED_SUPPRESSION_ID = "RK001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*--\s*(.*))?\s*$"
+)
+
+
+def rule_catalog(rules: tuple[type[Rule], ...] = DEFAULT_RULES) -> list[tuple[str, str, str]]:
+    """(id, severity, description) rows, for ``repro lint --rules``."""
+    rows = [(r.rule_id, r.severity.label, r.description) for r in rules]
+    rows.append(
+        (
+            _UNUSED_SUPPRESSION_ID,
+            Severity.INFO.label,
+            "suppression comment that suppresses nothing (stale disable)",
+        )
+    )
+    return sorted(rows)
+
+
+@dataclass
+class LintReport:
+    """Findings of one lint run plus the exit-code policy."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def blocking(self, strict: bool = False) -> list[Finding]:
+        """Findings that should fail the run.
+
+        Non-baselined ``ERROR`` findings always block; ``--strict``
+        additionally blocks warnings and infos (CI mode: nothing new
+        gets in at any severity).
+        """
+        floor = Severity.INFO if strict else Severity.ERROR
+        return [
+            f
+            for f in self.findings
+            if not f.baselined and f.severity >= floor
+        ]
+
+    def exit_code(self, strict: bool = False) -> int:
+        return 1 if self.blocking(strict) else 0
+
+    def format(self) -> str:
+        lines = [f.format() for f in self.findings]
+        baselined = sum(1 for f in self.findings if f.baselined)
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} "
+            f"file(s), {baselined} baselined"
+        )
+        return "\n".join(lines)
+
+
+class Linter:
+    """Run the rule set over files, apply suppressions and baseline."""
+
+    def __init__(
+        self,
+        rules: tuple[type[Rule], ...] = DEFAULT_RULES,
+        baseline: Baseline | None = None,
+        root: str | None = None,
+        exclude: tuple[str, ...] = (),
+    ) -> None:
+        self.rules = rules
+        self.baseline = baseline
+        self.root = Path(root) if root is not None else None
+        self.exclude = tuple(Path(e).resolve() for e in exclude)
+        known = {rule.rule_id for rule in rules}
+        known.add(_UNUSED_SUPPRESSION_ID)
+        self._known_ids = known
+
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: list[str]) -> LintReport:
+        report = LintReport()
+        for path in self._discover(paths):
+            report.findings.extend(self.lint_file(str(path)))
+            report.files_checked += 1
+        if self.baseline is not None:
+            report.findings = self.baseline.apply(report.findings)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+        return report
+
+    def _discover(self, paths: list[str]) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(
+                    p for p in sorted(path.rglob("*.py"))
+                    if not self._excluded(p)
+                )
+            elif path.suffix == ".py":
+                if not self._excluded(path):
+                    files.append(path)
+            else:
+                raise LintError(f"not a Python file or directory: {raw!r}")
+        return files
+
+    def _excluded(self, path: Path) -> bool:
+        resolved = path.resolve()
+        return any(
+            resolved == ex or ex in resolved.parents for ex in self.exclude
+        )
+
+    def _rel_path(self, path: str) -> str:
+        candidate = Path(path)
+        if self.root is not None:
+            try:
+                candidate = candidate.resolve().relative_to(self.root.resolve())
+            except ValueError:
+                pass
+        return candidate.as_posix()
+
+    # ------------------------------------------------------------------
+    def lint_file(self, path: str) -> list[Finding]:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"unreadable source file {path!r}: {exc}") from exc
+        return self.lint_source(source, path, rel_path=self._rel_path(path))
+
+    def lint_source(
+        self, source: str, path: str, rel_path: str | None = None
+    ) -> list[Finding]:
+        """Lint one source string (tests use this with virtual paths)."""
+        try:
+            context = FileContext.parse(
+                path, rel_path if rel_path is not None else path, source
+            )
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {path!r}: {exc}") from exc
+        findings: list[Finding] = []
+        for rule_class in self.rules:
+            findings.extend(rule_class(context).run())
+        return self._apply_suppressions(source, path, findings)
+
+    # ------------------------------------------------------------------
+    def _apply_suppressions(
+        self, source: str, path: str, findings: list[Finding]
+    ) -> list[Finding]:
+        suppressions = self._parse_suppressions(source, path)
+        if not suppressions:
+            return findings
+        used: set[tuple[int, str]] = set()
+        kept: list[Finding] = []
+        for finding in findings:
+            ids = suppressions.get(finding.line)
+            if ids is not None and finding.rule_id in ids:
+                used.add((finding.line, finding.rule_id))
+            else:
+                kept.append(finding)
+        for line, ids in suppressions.items():
+            for rule_id in ids:
+                if (line, rule_id) not in used:
+                    kept.append(
+                        Finding(
+                            rule_id=_UNUSED_SUPPRESSION_ID,
+                            path=path,
+                            line=line,
+                            column=0,
+                            message=(
+                                f"suppression of {rule_id} matches no "
+                                "finding on this line; remove the stale "
+                                "disable comment"
+                            ),
+                            severity=Severity.INFO,
+                        )
+                    )
+        return kept
+
+    def _parse_suppressions(
+        self, source: str, path: str
+    ) -> dict[int, tuple[str, ...]]:
+        # Real COMMENT tokens only: a '# lint: disable' inside a string
+        # (docstring examples, generated text) must not register.
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except tokenize.TokenError as exc:  # pragma: no cover - parse ok'd above
+            raise LintError(f"cannot tokenize {path!r}: {exc}") from exc
+        suppressions: dict[int, tuple[str, ...]] = {}
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            lineno, line = token.start[0], token.string
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                if re.search(r"lint:\s*disable=", line):
+                    raise LintError(
+                        f"{path}:{lineno}: malformed suppression comment; "
+                        "expected '# lint: disable=RKxxx[,RKyyy] -- reason'"
+                    )
+                continue
+            ids = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            unknown = [i for i in ids if i not in self._known_ids]
+            if unknown:
+                raise LintError(
+                    f"{path}:{lineno}: suppression names unknown rule(s) "
+                    f"{', '.join(unknown)}"
+                )
+            suppressions[lineno] = ids
+        return suppressions

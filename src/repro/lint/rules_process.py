@@ -1,0 +1,174 @@
+"""Cross-process safety rules (RK301-RK302).
+
+:class:`~repro.service.pool.SupervisedPool` (and raw
+``multiprocessing``) move callables and payloads across process
+boundaries.  Under the ``fork`` start method a closure happens to work
+because memory is inherited; under ``spawn``/``forkserver`` the same
+code dies at pickling time — usually in CI, on the platform the author
+didn't test.  These rules make the portable contract static:
+
+* ``RK301`` — the callable handed across the boundary must be
+  module-level (no lambdas, no functions defined inside another
+  function);
+* ``RK302`` — payload arguments must avoid syntactically-known
+  unpicklable values (lambdas, generator expressions, open file
+  handles).
+
+Both rules are heuristic by design: they only fire when the offending
+value is visible at the call site, which is where these bugs are
+written in practice.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.rules import Rule
+
+__all__ = ["NonModuleCallableRule", "UnpicklablePayloadRule"]
+
+# Attribute-call method names that hand their first positional argument
+# to worker processes (SupervisedPool.run, multiprocessing.Pool.map and
+# friends, concurrent.futures submit).
+_CROSS_PROCESS_METHODS = frozenset(
+    {"run", "map", "starmap", "imap", "imap_unordered", "apply",
+     "apply_async", "submit"}
+)
+
+# Keyword arguments of those calls that are invoked on the *parent*
+# side and never cross the boundary (SupervisedPool.run(describe=...)).
+_PARENT_SIDE_KWARGS = frozenset({"describe"})
+
+
+class _ScopedRule(Rule):
+    """Shared scope tracking: which names are function-local callables."""
+
+    def __init__(self, context) -> None:
+        super().__init__(context)
+        self._local_defs: list[set[str]] = []
+
+    def _enter_function(self, node: ast.AST) -> None:
+        if self._local_defs and hasattr(node, "name"):
+            self._local_defs[-1].add(node.name)
+        self._local_defs.append(set())
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._local_defs.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._local_defs.pop()
+
+    def _is_local_callable(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Name)
+            and any(node.id in scope for scope in self._local_defs)
+        )
+
+    @staticmethod
+    def _cross_process_args(call: ast.Call) -> list[ast.AST] | None:
+        """Arguments of *call* that cross a process boundary.
+
+        Returns ``[callable, *payloads]`` for recognised pool-style
+        calls and ``Process(target=...)`` constructors, else ``None``.
+        """
+        crossing: list[ast.AST] = []
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _CROSS_PROCESS_METHODS
+            and call.args
+        ):
+            crossing.extend(call.args)
+            crossing.extend(
+                kw.value
+                for kw in call.keywords
+                if kw.arg not in _PARENT_SIDE_KWARGS
+            )
+            return crossing
+        func_name = (
+            call.func.attr
+            if isinstance(call.func, ast.Attribute)
+            else call.func.id
+            if isinstance(call.func, ast.Name)
+            else ""
+        )
+        if func_name.endswith("Process"):
+            target = [kw.value for kw in call.keywords if kw.arg == "target"]
+            if target:
+                args = [kw.value for kw in call.keywords if kw.arg == "args"]
+                return target + args
+        return None
+
+
+class NonModuleCallableRule(_ScopedRule):
+    """RK301: callables crossing a process boundary must be module-level."""
+
+    rule_id = "RK301"
+    severity = Severity.ERROR
+    description = (
+        "lambda or nested function handed to a worker process; only "
+        "module-level callables survive pickling under spawn start "
+        "methods"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        crossing = self._cross_process_args(node)
+        if crossing:
+            head = crossing[0]
+            if isinstance(head, ast.Lambda):
+                self.report(
+                    head,
+                    "lambda passed across a process boundary; define a "
+                    "module-level function instead",
+                )
+            elif isinstance(head, ast.Name) and self._is_local_callable(head):
+                self.report(
+                    head,
+                    f"function {head.id!r} is defined inside another "
+                    "function; workers can only import module-level "
+                    "callables",
+                )
+        self.generic_visit(node)
+
+
+class UnpicklablePayloadRule(_ScopedRule):
+    """RK302: payload arguments must be picklable on their face."""
+
+    rule_id = "RK302"
+    severity = Severity.ERROR
+    description = (
+        "known-unpicklable value (lambda, generator expression, open "
+        "file) in a cross-process payload"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        crossing = self._cross_process_args(node)
+        if crossing:
+            for payload in crossing[1:]:
+                self._check_payload(payload)
+        self.generic_visit(node)
+
+    def _check_payload(self, payload: ast.AST) -> None:
+        for sub in ast.walk(payload):
+            if isinstance(sub, ast.Lambda):
+                self.report(sub, "lambda inside a cross-process payload")
+            elif isinstance(sub, ast.GeneratorExp):
+                self.report(
+                    sub,
+                    "generator expression inside a cross-process payload; "
+                    "materialise it into a list first",
+                )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "open"
+            ):
+                self.report(
+                    sub,
+                    "open file handle inside a cross-process payload; "
+                    "pass the path and open it in the worker",
+                )

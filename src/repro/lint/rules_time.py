@@ -1,0 +1,90 @@
+"""Simulated-time purity rule (RK201).
+
+The cluster simulator (:mod:`repro.cluster`) runs on *simulated*
+seconds produced by the cost model; replay under fault injection is
+bit-identical precisely because no code path consults the machine's
+clock.  A single ``time.time()`` inside a simulation path makes
+checkpoint replay, chaos tests, and the Figure 7 normalization depend
+on host load.
+
+The rule fires on wall-clock reads in any module under the simulated-
+time packages, except files on an explicit allowlist that measure
+*real* wall time on purpose (host-side profiling of the simulation
+itself, reported separately from simulated seconds).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.rules import Rule
+
+__all__ = ["WallClockRule", "SIMULATED_TIME_PACKAGES", "WALL_CLOCK_ALLOWLIST"]
+
+# Packages whose execution is paced by simulated time.  Matched as
+# path-prefix components of the file's scan-relative path.
+SIMULATED_TIME_PACKAGES = ("cluster",)
+
+# Files allowed to read the host clock even inside a simulated-time
+# package, because they account *host* wall time of the simulation run
+# (WalkStats.wall_time_seconds), which is documented as host-side
+# profiling and never feeds simulated seconds, message order, or any
+# replayed decision.
+WALL_CLOCK_ALLOWLIST = ("cluster/engine.py",)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _in_simulated_path(rel_path: str) -> bool:
+    parts = rel_path.split("/")
+    return any(pkg in parts for pkg in SIMULATED_TIME_PACKAGES)
+
+
+def _allowlisted(rel_path: str) -> bool:
+    return any(rel_path.endswith(suffix) for suffix in WALL_CLOCK_ALLOWLIST)
+
+
+class WallClockRule(Rule):
+    """RK201: no wall-clock reads inside simulated-time packages."""
+
+    rule_id = "RK201"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock read inside a simulated-time package; simulation "
+        "decisions must derive from the cost model so replay stays "
+        "bit-identical (allowlist: host-side wall-time accounting files)"
+    )
+
+    def run(self) -> list:
+        if not _in_simulated_path(self.context.rel_path):
+            return []
+        if _allowlisted(self.context.rel_path):
+            return []
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.context.resolve_call(node)
+        if name in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"{name}() reads the host clock inside a simulated-time "
+                "package; use the cost model's simulated seconds (or move "
+                "host-side accounting to an allowlisted stats path)",
+            )
+        self.generic_visit(node)

@@ -105,6 +105,27 @@ class SupervisedPool:
         self.restarts = 0  # total worker restarts across run() calls
 
     # ------------------------------------------------------------------
+    def _check_cross_process(self, fn) -> None:
+        """Reject callables that cannot cross the process boundary.
+
+        Under ``fork`` a lambda or closure happens to work because the
+        child inherits memory; under ``spawn``/``forkserver`` the same
+        call dies at pickling time with an opaque error, usually on the
+        one platform the author didn't test.  The static analyzer
+        (rule RK301 in :mod:`repro.lint`) flags this at review time;
+        this is the runtime backstop, raising a named error *before*
+        any worker is spawned instead of after.
+        """
+        qualname = getattr(fn, "__qualname__", "")
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            if self._ctx.get_start_method() != "fork":
+                raise ConfigError(
+                    f"task callable {qualname!r} is not module-level; the "
+                    f"{self._ctx.get_start_method()!r} start method pickles "
+                    "callables by qualified name, so only module-level "
+                    "functions can run in workers"
+                )
+
     def run(self, fn, payloads, describe=None) -> list:
         """Execute ``fn(payload)`` for every payload; ordered results.
 
@@ -114,6 +135,7 @@ class SupervisedPool:
         workers; partial results are discarded — the caller retries or
         sheds at its own layer.
         """
+        self._check_cross_process(fn)
         payloads = list(payloads)
         describe = describe if describe is not None else (
             lambda index: f"task {index}"

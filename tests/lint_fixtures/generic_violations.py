@@ -1,0 +1,34 @@
+"""RK401/RK402/RK403 positives: generic determinism footguns."""
+
+
+def collect(item, bucket=[]):  # expect: RK401
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):  # expect: RK401
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def merge(items, *, seen=set()):  # expect: RK401
+    seen.update(items)
+    return seen
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # expect: RK402
+        return None
+
+
+def order_depends_on_hash_seed(a, b, c):
+    out = []
+    for vertex in {a, b, c}:  # expect: RK403
+        out.append(vertex)
+    return out
+
+
+def comprehension_over_set(values):
+    return [v * 2 for v in set(values)]  # expect: RK403

@@ -1,0 +1,30 @@
+"""RK101/RK102/RK103 negatives: disciplined RNG use must not fire."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_generators(seed):
+    a = np.random.default_rng(seed)
+    b = np.random.default_rng(0)
+    c = default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(1,)))
+    return a, b, c
+
+
+def rng_as_parameter(rng: np.random.Generator, n: int):
+    # Drawing from a threaded Generator is the sanctioned pattern.
+    return rng.random(n), rng.integers(0, 10, size=n)
+
+
+def new_api_types_are_fine(seed):
+    sequence = np.random.SeedSequence(seed)
+    bitgen = np.random.PCG64(sequence)
+    return np.random.Generator(bitgen)
+
+
+def shadowing_is_not_the_stdlib(items):
+    # A local callable named `random` is not the stdlib module.
+    def random():
+        return 4
+
+    return random(), items

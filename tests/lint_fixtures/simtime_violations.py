@@ -1,0 +1,14 @@
+# lint-fixture-path: src/repro/cluster/sim.py
+"""RK201 positives: wall-clock reads inside a simulated-time module."""
+
+import time
+from time import perf_counter
+from datetime import datetime
+
+
+def advance(events):
+    started = time.time()  # expect: RK201
+    tick = perf_counter()  # expect: RK201
+    stamp = datetime.now()  # expect: RK201
+    nanos = time.monotonic_ns()  # expect: RK201
+    return started, tick, stamp, nanos, len(events)
