@@ -10,7 +10,7 @@ The full run times the standard workloads (10k walkers, length 80,
 LiveJournal stand-in at scale 1.0) and writes the report to
 ``BENCH_walks.json`` at the repository root, appending one point to the
 repository's throughput trajectory.  ``--quick`` shrinks the workloads
-(scale 0.1, 2k walkers, length 20, one repeat) so CI can verify the
+(scale 0.1, 2k walkers, length 20) so CI can verify the
 harness end-to-end in seconds; quick reports are written to the same
 schema but flagged ``"quick": true`` and are not comparable to full
 runs.
@@ -25,7 +25,13 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench.perf import format_report, run_perf, write_report  # noqa: E402
+from repro.bench.perf import (  # noqa: E402
+    STEP_ENGINE_FLOOR,
+    enforce_engine_floor,
+    format_report,
+    run_perf,
+    write_report,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,7 +39,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="tiny workloads, one repeat (CI smoke run)",
+        help="tiny workloads (CI smoke run)",
+    )
+    parser.add_argument(
+        "--enforce-engine-floor",
+        action="store_true",
+        help=(
+            "fail (exit 1) if the step-centric engine falls below "
+            f"{STEP_ENGINE_FLOOR:.0%} of walker-centric throughput on "
+            "any workload"
+        ),
     )
     parser.add_argument(
         "--repeats",
@@ -58,6 +73,13 @@ def main(argv: list[str] | None = None) -> int:
     path = write_report(report, args.output)
     print(format_report(report))
     print(f"\nreport written to {path}")
+    if args.enforce_engine_floor:
+        failures = enforce_engine_floor(report)
+        if failures:
+            for failure in failures:
+                print(f"ENGINE FLOOR VIOLATION: {failure}", file=sys.stderr)
+            return 1
+        print("engine floor check passed (step-centric vs walker-centric)")
     return 0
 
 

@@ -194,15 +194,16 @@ class Node2Vec(WalkerProgram):
         candidates = graph.targets[candidate_edges]
         values = np.full(walker_ids.size, self.inout_pd, dtype=np.float64)
 
+        first_step = previous == NO_VERTEX
         is_return = candidates == previous
         values[is_return] = self.return_pd
-        undecided = np.flatnonzero(~is_return & (previous != NO_VERTEX))
+        undecided = np.flatnonzero(~(is_return | first_step))
         if undecided.size:
             adjacent = graph.has_edges_batch(
                 previous[undecided], candidates[undecided]
             )
             values[undecided[adjacent]] = 1.0
-        values[previous == NO_VERTEX] = 1.0
+        values[first_step] = 1.0
         return values
 
     def batch_state_queries(

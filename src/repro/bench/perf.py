@@ -18,8 +18,12 @@ Methodology
 * Timing: the walk loop only (``WalkStats.wall_time_seconds``), best
   of ``repeats`` runs; sampling-table construction is charged to init,
   matching the paper's methodology of excluding graph loading.
-* Each workload is also run with ``fuse_trials=False`` so the JSON
-  carries the single-trial comparison alongside the default engine.
+* Each workload is also run with ``fuse_trials=False`` (the
+  single-trial comparison), with ``engine_mode="walker"`` (the
+  walker-at-a-time reference the step-centric default must not
+  regress against — see :func:`enforce_engine_floor`), and with
+  ``sampler_policy="auto"`` (whose per-degree-class decisions are
+  recorded under the entry's ``"sampler"`` key).
 
 The pre-PR reference throughput baked into the JSON was measured at
 the seed revision (commit ``eb6ac31``) with this same workload
@@ -44,6 +48,8 @@ __all__ = [
     "PerfWorkload",
     "PERF_WORKLOADS",
     "PRE_PR_NODE2VEC_STEPS_PER_SEC",
+    "STEP_ENGINE_FLOOR",
+    "enforce_engine_floor",
     "run_perf",
     "write_report",
 ]
@@ -52,6 +58,11 @@ __all__ = [
 # measured at the seed revision before the fused-kernel/hot-path PR.
 # The acceptance target for that PR was >= 2x this figure.
 PRE_PR_NODE2VEC_STEPS_PER_SEC = 1_867_803
+
+# The step-centric engine must deliver at least this fraction of the
+# walker-centric throughput on every workload (the CI smoke gate; 0.8
+# allows quick-mode timing noise, not a real regression).
+STEP_ENGINE_FLOOR = 0.8
 
 
 @dataclass(frozen=True)
@@ -80,6 +91,7 @@ _QUICK_LENGTH = 20
 def _time_engine(
     graph, spec, num_walkers: int, walk_length: int, seed: int,
     fuse_trials: bool, repeats: int,
+    engine_mode: str = "step", sampler_policy: str = "fixed",
 ) -> dict:
     """Best-of-``repeats`` timing of one engine configuration."""
     best = None
@@ -90,6 +102,8 @@ def _time_engine(
             max_steps=walk_length,
             termination_probability=spec.termination_probability,
             seed=seed + attempt,
+            engine_mode=engine_mode,
+            sampler_policy=sampler_policy,
         )
         engine = WalkEngine(graph, program, config, fuse_trials=fuse_trials)
         stats = engine.run().stats
@@ -105,6 +119,8 @@ def _time_engine(
                 "pd_evals_per_step": round(stats.pd_evaluations_per_step, 4),
                 "init_seconds": round(stats.init_time_seconds, 6),
             }
+            if sampler_policy == "auto":
+                best["sampler"] = stats.sampler.as_dict()
     return best
 
 
@@ -114,8 +130,6 @@ def run_perf(
     """Run every tracked workload; returns the report dictionary."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    if quick:
-        repeats = 1
     report: dict = {
         "schema": 1,
         "created_unix": int(time.time()),
@@ -148,6 +162,14 @@ def run_perf(
         single = _time_engine(
             graph, spec, walkers, length, seed, False, repeats
         )
+        walker = _time_engine(
+            graph, spec, walkers, length, seed, True, repeats,
+            engine_mode="walker",
+        )
+        auto = _time_engine(
+            graph, spec, walkers, length, seed, True, repeats,
+            sampler_policy="auto",
+        )
         entry = {
             "dataset": workload.dataset,
             "scale": scale,
@@ -155,21 +177,54 @@ def run_perf(
             "walk_length": length,
             **fused,
             "single_trial_steps_per_sec": single["steps_per_sec"],
-            # Only meaningful where the fused kernel actually engages
-            # (step-paced dynamic programs); elsewhere both runs take
-            # the same path and the ratio would be timing noise.
-            "fused_speedup_vs_single_trial": round(
+            "walker_mode_steps_per_sec": walker["steps_per_sec"],
+            "auto_policy_steps_per_sec": auto["steps_per_sec"],
+            "sampler": auto["sampler"],
+        }
+        if walker["steps_per_sec"]:
+            entry["step_speedup_vs_walker"] = round(
+                fused["steps_per_sec"] / walker["steps_per_sec"], 3
+            )
+        # Only meaningful where the fused kernel actually engages
+        # (step-paced dynamic programs); elsewhere both runs take the
+        # same path and the ratio would be timing noise — the key is
+        # omitted rather than carried as null.
+        if fused["fused"] and single["steps_per_sec"]:
+            entry["fused_speedup_vs_single_trial"] = round(
                 fused["steps_per_sec"] / single["steps_per_sec"], 3
             )
-            if fused["fused"] and single["steps_per_sec"]
-            else None,
-        }
         if workload.name == "node2vec" and not quick:
             entry["speedup_vs_pre_pr"] = round(
                 fused["steps_per_sec"] / PRE_PR_NODE2VEC_STEPS_PER_SEC, 3
             )
         report["workloads"][workload.name] = entry
     return report
+
+
+def enforce_engine_floor(
+    report: dict, floor: float = STEP_ENGINE_FLOOR
+) -> list[str]:
+    """Check the step-centric engine against the walker-centric floor.
+
+    Returns one message per workload whose step-mode throughput fell
+    below ``floor`` times its walker-mode throughput (empty when the
+    report passes).  CI runs this on the quick smoke report so an
+    accidental slowdown of the staged hot loop fails the build instead
+    of landing silently.
+    """
+    failures = []
+    for name, entry in report["workloads"].items():
+        walker_rate = entry.get("walker_mode_steps_per_sec")
+        if not walker_rate:
+            continue
+        ratio = entry["steps_per_sec"] / walker_rate
+        if ratio < floor:
+            failures.append(
+                f"{name}: step-centric engine at {ratio:.2f}x of "
+                f"walker-centric throughput ({entry['steps_per_sec']:,.0f} "
+                f"vs {walker_rate:,.0f} steps/sec; floor {floor:.2f})"
+            )
+    return failures
 
 
 def write_report(report: dict, path: str | Path) -> Path:
@@ -182,13 +237,16 @@ def write_report(report: dict, path: str | Path) -> Path:
 def format_report(report: dict) -> str:
     """Aligned text summary of one report, for terminal output."""
     lines = [
-        f"{'workload':10s} {'steps/sec':>12s} {'single-trial':>12s} "
-        f"{'fused dx':>9s} {'trials/step':>12s} {'pd/step':>9s}"
+        f"{'workload':10s} {'steps/sec':>12s} {'walker-mode':>12s} "
+        f"{'auto':>12s} {'single-trial':>12s} {'fused dx':>9s} "
+        f"{'trials/step':>12s} {'pd/step':>9s}"
     ]
     for name, entry in report["workloads"].items():
         speedup = entry.get("fused_speedup_vs_single_trial")
         lines.append(
             f"{name:10s} {entry['steps_per_sec']:>12,.0f} "
+            f"{entry['walker_mode_steps_per_sec']:>12,.0f} "
+            f"{entry['auto_policy_steps_per_sec']:>12,.0f} "
             f"{entry['single_trial_steps_per_sec']:>12,.0f} "
             f"{speedup if speedup is not None else '-':>9} "
             f"{entry['trials_per_step']:>12.3f} "

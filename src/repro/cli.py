@@ -218,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=2,
         help="how many executions to trace and compare",
     )
+    sanitize.add_argument(
+        "--compare-engines", action="store_true",
+        help="trace the step-centric and walker-centric engines once "
+        "each (instead of re-running one engine) and require their "
+        "event streams to fold to the same hash",
+    )
     return parser
 
 
@@ -455,23 +461,41 @@ def _run_sanitize(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args)
     program, graph = _build_program(args, graph)
-    config = WalkConfig(
-        num_walkers=args.walkers,
-        max_steps=args.length,
-        termination_probability=args.termination,
-        seed=args.seed,
-    )
+
+    def make_config(engine_mode: str) -> WalkConfig:
+        return WalkConfig(
+            num_walkers=args.walkers,
+            max_steps=args.length,
+            termination_probability=args.termination,
+            seed=args.seed,
+            engine_mode=engine_mode,
+        )
+
     print(f"graph: {graph}")
     print(f"algorithm: {program!r}")
 
-    def factory():
-        if args.nodes > 0:
-            return DistributedWalkEngine(
-                graph, program, config, num_nodes=args.nodes
-            )
-        return WalkEngine(graph, program, config)
+    def make_factory(config: WalkConfig):
+        def factory():
+            if args.nodes > 0:
+                return DistributedWalkEngine(
+                    graph, program, config, num_nodes=args.nodes
+                )
+            return WalkEngine(graph, program, config)
 
-    report = run_sanitized(factory, runs=args.runs)
+        return factory
+
+    if args.compare_engines:
+        # One traced run per engine mode: the staged Gather/Move/Update
+        # executor must be event-for-event identical to the
+        # walker-at-a-time loop, not merely end in the same state.
+        print("comparing engines: run 0 = step-centric, run 1 = walker-centric")
+        report = run_sanitized(
+            [make_factory(make_config("step")), make_factory(make_config("walker"))]
+        )
+    else:
+        report = run_sanitized(
+            make_factory(make_config("step")), runs=args.runs
+        )
     print(report.summary())
     return 0 if report.deterministic else 1
 

@@ -56,7 +56,7 @@ from repro.cluster.recovery import (
 )
 from repro.cluster.scheduler import RetryPolicy, ThreadPolicy
 from repro.core.config import WalkConfig
-from repro.core.engine import ZERO_MASS_GUARD_TRIALS, WalkEngine, WalkResult
+from repro.core.engine import WalkEngine, WalkResult
 from repro.core.kernels import adaptive_trial_count, batch_multi_trial_round
 from repro.core.program import WalkerProgram
 from repro.errors import FaultError, NodeCrashError
@@ -184,6 +184,8 @@ class DistributedWalkEngine(WalkEngine):
         abort (False, the default).
     """
 
+    _accounts_lane_work = True
+
     def __init__(
         self,
         graph: CSRGraph,
@@ -254,6 +256,15 @@ class DistributedWalkEngine(WalkEngine):
         self._owner_lookup: np.ndarray | None = None
         self._checkpoint: ClusterCheckpoint | None = None
         self._executed_supersteps = 0
+        # Engines that replace the distributed round wholesale (the
+        # Gemini baseline) keep the legacy per-round loop; the staged
+        # executor would route around their override.
+        if (
+            type(self)._distributed_round
+            is not DistributedWalkEngine._distributed_round
+        ):
+            self.engine_mode = "walker"
+            self._stepper = None
 
     # ------------------------------------------------------------------
     def attach_tracer(self, tracer) -> None:
@@ -347,7 +358,13 @@ class DistributedWalkEngine(WalkEngine):
             survivors = self._apply_teleports(survivors)
         if survivors.size:
             if self.sync_mode == "trial":
+                # Second-order pacing is a protocol semantic: each
+                # trial is a two-round query exchange, so trial-paced
+                # programs always run the five-step round (the step
+                # executor would collapse the exchange).
                 self._distributed_round(survivors)
+            elif self._stepper is not None:
+                self._stepper.run_iteration(survivors)
             elif self._fuse:
                 pending = survivors
                 while pending.size:
@@ -362,11 +379,12 @@ class DistributedWalkEngine(WalkEngine):
         self._flush_streaming(active)
         self._close_superstep(active_per_node)
 
-    def _record_teleports(
-        self, walker_ids: np.ndarray, targets: np.ndarray
-    ) -> None:
-        """Teleports migrate walkers like ordinary moves do."""
-        old_owners = self._owners(self.walkers.current[walker_ids])
+    # ------------------------------------------------------------------
+    # Hook overrides: per-node message and work accounting
+    # ------------------------------------------------------------------
+    def _commit_moves(self, movers: np.ndarray, targets: np.ndarray) -> None:
+        """Moves migrate walkers to the new vertex's owner."""
+        old_owners = self._owners(self.walkers.current[movers])
         new_owners = self._owners(targets)
         migrated = self.network.record_batch(
             MessageKind.WALKER_MIGRATE, old_owners, new_owners
@@ -374,7 +392,28 @@ class DistributedWalkEngine(WalkEngine):
         np.add.at(self._node_msgs, old_owners, 1)
         np.add.at(self._node_msgs, new_owners, 1)
         self.stats.messages_sent += migrated
-        super()._record_teleports(walker_ids, targets)
+        super()._commit_moves(movers, targets)
+
+    def _run_guard(self, ids: np.ndarray) -> None:
+        """The zero-mass guard charges its full-scan Pd evaluations to
+        each walker's node.  Owners are read before the guard moves the
+        walkers."""
+        nodes = self._owners(self.walkers.current[ids])
+        evaluations = self._guard_batch(ids)
+        np.add.at(self._node_pd, nodes, evaluations)
+
+    def _account_lane_work(
+        self,
+        vertices: np.ndarray,
+        trials: np.ndarray | int | None = None,
+        pd: np.ndarray | None = None,
+    ) -> None:
+        """Charge sampling work to the nodes owning ``vertices``."""
+        nodes = self._owners(vertices)
+        if trials is not None:
+            np.add.at(self._node_trials, nodes, trials)
+        if pd is not None:
+            np.add.at(self._node_pd, nodes, pd)
 
     def _close_superstep(self, active_per_node: np.ndarray) -> None:
         """Charge the superstep to the cost model."""
@@ -613,56 +652,9 @@ class DistributedWalkEngine(WalkEngine):
             edges[pd_lanes[passed]] = pd_candidates[passed]
 
         counters.accepts += int(accepted.sum())
-        moved = accepted.copy()
-
-        # Moves and walker migration.
-        if accepted.any():
-            movers = walker_ids[accepted]
-            new_vertices = graph.targets[edges[accepted]]
-            new_owners = self._owners(new_vertices)
-            old_owners = walker_nodes[accepted]
-            migrated = self.network.record_batch(
-                MessageKind.WALKER_MIGRATE, old_owners, new_owners
-            )
-            np.add.at(self._node_msgs, old_owners, 1)
-            np.add.at(self._node_msgs, new_owners, 1)
-            self.stats.messages_sent += migrated
-            self.walkers.move(movers, new_vertices)
-            self._rejection_streak[movers] = 0
-            self.stats.total_steps += movers.size
-            if self._recorder is not None:
-                self._recorder.record_moves(movers, new_vertices)
-
-        stuck_lanes = np.flatnonzero(~accepted)
-        if stuck_lanes.size:
-            stuck = walker_ids[stuck_lanes]
-            self._rejection_streak[stuck] += 1
-            guarded_lanes = stuck_lanes[
-                self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
-            ]
-            if guarded_lanes.size:
-                self._guard_lanes(walker_ids, guarded_lanes, moved)
-        return moved
-
-    def _guard_lanes(
-        self,
-        walker_ids: np.ndarray,
-        guarded_lanes: np.ndarray,
-        moved: np.ndarray,
-    ) -> None:
-        """Run the batch zero-mass guard on the given lanes and charge
-        the full-scan Pd evaluations to each walker's node.
-
-        ``guarded_lanes`` are positions into ``walker_ids`` (which
-        carries no ordering guarantee), and the guard always resolves a
-        walker, so every guarded lane is marked moved.
-        """
-        guarded_ids = walker_ids[guarded_lanes]
-        # Owners must be read before the guard moves the walkers.
-        nodes = self._owners(self.walkers.current[guarded_ids])
-        evaluations = self._guard_batch(guarded_ids)
-        np.add.at(self._node_pd, nodes, evaluations)
-        moved[guarded_lanes] = True
+        # The shared Move/Update tail: migration-recording moves via
+        # the hook overrides, streak advance, zero-mass guard.
+        return self._commit_round(walker_ids, accepted, edges)
 
     def _distributed_multi_round(self, walker_ids: np.ndarray) -> np.ndarray:
         """Fused multi-trial round for step-mode programs.
@@ -674,10 +666,8 @@ class DistributedWalkEngine(WalkEngine):
         kernel's per-walker consumption, so the cost model charges
         exactly the work a sequential execution would have done.
         """
-        graph = self.graph
-        walker_nodes = self._owners(self.walkers.current[walker_ids])
         outcome = batch_multi_trial_round(
-            graph,
+            self.graph,
             self.tables,
             self.program,
             self.walkers,
@@ -690,35 +680,11 @@ class DistributedWalkEngine(WalkEngine):
             validate_bounds=self.validate_bounds,
             scratch=self._scratch,
         )
-        np.add.at(self._node_trials, walker_nodes, outcome.trials_used)
-        np.add.at(self._node_pd, walker_nodes, outcome.pd_evaluations)
-
-        accepted, edges = outcome.accepted, outcome.edges
-        moved = accepted.copy()
-        if accepted.any():
-            movers = walker_ids[accepted]
-            new_vertices = graph.targets[edges[accepted]]
-            new_owners = self._owners(new_vertices)
-            old_owners = walker_nodes[accepted]
-            migrated = self.network.record_batch(
-                MessageKind.WALKER_MIGRATE, old_owners, new_owners
-            )
-            np.add.at(self._node_msgs, old_owners, 1)
-            np.add.at(self._node_msgs, new_owners, 1)
-            self.stats.messages_sent += migrated
-            self.walkers.move(movers, new_vertices)
-            self._rejection_streak[movers] = 0
-            self.stats.total_steps += movers.size
-            if self._recorder is not None:
-                self._recorder.record_moves(movers, new_vertices)
-
-        stuck_lanes = np.flatnonzero(~accepted)
-        if stuck_lanes.size:
-            stuck = walker_ids[stuck_lanes]
-            self._rejection_streak[stuck] += outcome.trials_used[stuck_lanes]
-            guarded_lanes = stuck_lanes[
-                self._rejection_streak[stuck] >= ZERO_MASS_GUARD_TRIALS
-            ]
-            if guarded_lanes.size:
-                self._guard_lanes(walker_ids, guarded_lanes, moved)
-        return moved
+        self._account_lane_work(
+            self.walkers.current[walker_ids],
+            trials=outcome.trials_used,
+            pd=outcome.pd_evaluations,
+        )
+        return self._commit_round(
+            walker_ids, outcome.accepted, outcome.edges, outcome.trials_used
+        )

@@ -35,14 +35,17 @@ import numpy as np
 
 from repro.core.config import WalkConfig
 from repro.core.kernels import (
+    ZERO_MASS_GUARD_TRIALS,
     KernelScratch,
     adaptive_trial_count,
     batch_multi_trial_round,
     batch_trial_round,
     full_scan_distribution,
+    full_scan_spans,
 )
 from repro.core.program import WalkerProgram
 from repro.core.stats import WalkStats
+from repro.core.stepper import StepExecutor
 from repro.core.trace import PathRecorder, StreamingPathRecorder
 from repro.core.walker import WalkerSet
 from repro.errors import ProgramError
@@ -52,11 +55,7 @@ from repro.sampling.its import VertexITSTables
 from repro.sampling.rejection import RejectionSampler
 from repro.sampling.rng import derive_rng
 
-__all__ = ["WalkEngine", "WalkResult"]
-
-# After this many consecutive rejections a walker's vertex is fully
-# scanned once to distinguish "unlucky" from "zero eligible mass".
-ZERO_MASS_GUARD_TRIALS = 64
+__all__ = ["WalkEngine", "WalkResult", "ZERO_MASS_GUARD_TRIALS"]
 
 
 @dataclass
@@ -126,6 +125,11 @@ class WalkEngine:
         single-trial kernel, kept as the semantic reference.
     """
 
+    # True on engines whose _account_lane_work override does real work
+    # (the distributed engine); lets the step executor skip building
+    # per-lane work arrays when nobody consumes them.
+    _accounts_lane_work = False
+
     def __init__(
         self,
         graph: CSRGraph,
@@ -186,7 +190,6 @@ class WalkEngine:
         self._streaming = isinstance(self._recorder, StreamingPathRecorder)
         self._rejection_streak = np.zeros(self.walkers.num_walkers, dtype=np.int64)
         self.stats = WalkStats()
-        self.stats.init_time_seconds = time.perf_counter() - init_start
         # "trial" pacing for second-order programs, "step" otherwise.
         self.sync_mode = "trial" if program.order == 2 else "step"
         self.fuse_trials = fuse_trials
@@ -196,13 +199,35 @@ class WalkEngine:
             and program.dynamic
             and self.sync_mode == "step"
         )
-        self._scratch = KernelScratch() if self._fuse else None
+        # Step-centric staging needs the batch kernels; scalar-path
+        # programs (and force_scalar runs) keep the walker-at-a-time
+        # reference loop regardless of the configured mode.  Engines
+        # that replace the trial round wholesale (the full-scan and
+        # typed-partition baselines) stay on the walker loop too — the
+        # staged path would route around their override.
+        overrides_round = (
+            type(self)._attempt_once is not WalkEngine._attempt_once
+        )
+        self.engine_mode = (
+            config.engine_mode
+            if self._batch and not overrides_round
+            else "walker"
+        )
+        self._scratch = (
+            KernelScratch()
+            if (self._fuse or self.engine_mode == "step")
+            else None
+        )
         self._has_custom_continue = (
             type(program).should_continue is not WalkerProgram.should_continue
         )
         self._has_teleports = (
             type(program).teleport_targets is not WalkerProgram.teleport_targets
         )
+        self._stepper = (
+            StepExecutor(self) if self.engine_mode == "step" else None
+        )
+        self.stats.init_time_seconds = time.perf_counter() - init_start
 
     # ------------------------------------------------------------------
     def attach_tracer(self, tracer) -> None:
@@ -310,7 +335,9 @@ class WalkEngine:
         if survivors.size == 0:
             return
 
-        if self.sync_mode == "trial":
+        if self._stepper is not None:
+            self._stepper.run_iteration(survivors)
+        elif self.sync_mode == "trial":
             self._attempt_once(survivors)
         else:
             # Lockstep: every surviving walker moves (or is terminated
@@ -347,13 +374,9 @@ class WalkEngine:
         self, walker_ids: np.ndarray, targets: np.ndarray
     ) -> None:
         """Book-keeping for direct jumps (shared with the distributed
-        engine, which additionally counts migration messages)."""
-        self.walkers.move(walker_ids, targets)
-        self._rejection_streak[walker_ids] = 0
-        self.stats.total_steps += walker_ids.size
+        engine, whose move hook additionally counts migrations)."""
+        self._commit_moves(walker_ids, targets)
         self.stats.teleports += walker_ids.size
-        if self._recorder is not None:
-            self._recorder.record_moves(walker_ids, targets)
 
     def _apply_extension_component(self, active: np.ndarray) -> np.ndarray:
         """Pe: kill walkers whose walk ends here; return survivors."""
@@ -442,16 +465,28 @@ class WalkEngine:
             accepted, edges = outcome.accepted, outcome.edges
         else:
             accepted, edges = self._scalar_round(walker_ids)
+        return self._commit_round(walker_ids, accepted, edges, trials_spent)
 
+    # ------------------------------------------------------------------
+    # Move/Update hooks — shared by the walker-centric loop and the
+    # step-centric executor; the distributed engine overrides the first
+    # three to add per-node message and work accounting.
+    # ------------------------------------------------------------------
+    def _commit_round(
+        self,
+        walker_ids: np.ndarray,
+        accepted: np.ndarray,
+        edges: np.ndarray,
+        trials_spent: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Move/Update tail of one trial round: apply the accepted
+        transitions, advance rejection streaks, fire the zero-mass
+        guard.  Returns the resolved-lane mask (moved or guarded)."""
         moved = accepted.copy()
         if accepted.any():
-            movers = walker_ids[accepted]
-            targets = self.graph.targets[edges[accepted]]
-            self.walkers.move(movers, targets)
-            self._rejection_streak[movers] = 0
-            self.stats.total_steps += movers.size
-            if self._recorder is not None:
-                self._recorder.record_moves(movers, targets)
+            self._commit_moves(
+                walker_ids[accepted], self.graph.targets[edges[accepted]]
+            )
 
         stuck_lanes = np.flatnonzero(~accepted)
         if stuck_lanes.size:
@@ -474,7 +509,7 @@ class WalkEngine:
                     # The guard always resolves a walker (kill or an
                     # exact move), so every guarded lane leaves the
                     # pending set.
-                    self._guard_batch(walker_ids[guarded_lanes])
+                    self._run_guard(walker_ids[guarded_lanes])
                     moved[guarded_lanes] = True
                 else:
                     for lane in guarded_lanes:
@@ -482,68 +517,65 @@ class WalkEngine:
                             moved[lane] = True
         return moved
 
+    def _commit_moves(self, movers: np.ndarray, targets: np.ndarray) -> None:
+        """Apply one batch of accepted transitions."""
+        self.walkers.move(movers, targets)
+        self._rejection_streak[movers] = 0
+        self.stats.total_steps += movers.size
+        if self._recorder is not None:
+            self._recorder.record_moves(movers, targets)
+
+    def _run_guard(self, ids: np.ndarray) -> None:
+        """Resolve persistently rejected walkers (kill or exact move)."""
+        self._guard_batch(ids)
+
+    def _account_lane_work(
+        self,
+        vertices: np.ndarray,
+        trials: np.ndarray | int | None = None,
+        pd: np.ndarray | None = None,
+    ) -> None:
+        """Attribute sampling work to the walkers' locations.
+
+        A no-op here; the distributed engine charges each vertex's
+        owning node so per-node utilisation stays truthful when the
+        step executor routes lanes through different strategies.
+        """
+
     def _guard_batch(self, ids: np.ndarray) -> np.ndarray:
         """Vectorised zero-mass guard over several walkers at once.
 
         Same semantics as :meth:`_guard_walker` — scan the full edge
         span, terminate on zero eligible mass, otherwise move by an
-        exact draw from the scanned distribution — but the Pd values
-        come from one ``batch_dynamic_comp`` call over the concatenated
-        spans and the per-walker sampling is a global-CDF searchsorted,
-        so programs whose walkers hit the guard in bulk (Meta-path at
-        every scheme dead end) don't fall off the vectorised path.
+        exact draw from the scanned distribution — but the spans come
+        from the shared :func:`~repro.core.kernels.full_scan_spans`
+        kernel (one ``batch_dynamic_comp`` over the concatenated spans,
+        one global-CDF searchsorted for the draws), so programs whose
+        walkers hit the guard in bulk (Meta-path at every scheme dead
+        end) don't fall off the vectorised path.
 
-        Returns the per-walker Pd evaluation counts, which the
-        distributed engine attributes to each walker's node.
+        Kills precede the draw so the RNG consumes exactly one uniform
+        per surviving walker, in lane order.  Returns the per-walker Pd
+        evaluation counts, which the distributed engine attributes to
+        each walker's node.
         """
-        graph, walkers = self.graph, self.walkers
-        vertices = walkers.current[ids].astype(np.int64)
-        starts = graph.offsets[vertices].astype(np.int64)
-        counts = graph.offsets[vertices + 1].astype(np.int64) - starts
-        # Dead ends were filtered by Pe, so every span is non-empty.
-        boundaries = np.zeros(ids.size + 1, dtype=np.int64)
-        np.cumsum(counts, out=boundaries[1:])
-        flat_edges = np.repeat(starts - boundaries[:-1], counts) + np.arange(
-            boundaries[-1]
+        spans = full_scan_spans(
+            self.graph, self.tables, self.program, self.walkers, ids
         )
-        owner = np.repeat(np.arange(ids.size), counts)
+        self.stats.full_scan_evaluations += int(spans.evaluations.sum())
 
-        static = self.tables.static_weights[flat_edges]
-        mass = np.zeros(flat_edges.size, dtype=np.float64)
-        positive = np.flatnonzero(static > 0.0)
-        evaluations = np.zeros(ids.size, dtype=np.int64)
-        if positive.size:
-            dynamic = self.program.batch_dynamic_comp(
-                graph, walkers, ids[owner[positive]], flat_edges[positive]
-            )
-            mass[positive] = static[positive] * dynamic
-            self.stats.full_scan_evaluations += positive.size
-            evaluations = np.bincount(owner[positive], minlength=ids.size)
-
-        running = np.cumsum(mass)
-        totals = np.add.reduceat(mass, boundaries[:-1])
-        dead = totals <= 0.0
+        dead = spans.totals <= 0.0
         if dead.any():
             doomed = ids[dead]
-            walkers.kill(doomed)
+            self.walkers.kill(doomed)
             self.stats.termination.by_dead_end += doomed.size
             self._rejection_streak[doomed] = 0
 
         live = np.flatnonzero(~dead)
         if live.size:
-            live_ids = ids[live]
-            seg_start = boundaries[:-1][live]
-            base = np.where(seg_start > 0, running[seg_start - 1], 0.0)
-            draws = base + self._rng.random(live.size) * totals[live]
-            positions = np.searchsorted(running, draws, side="right")
-            positions = np.clip(positions, seg_start, boundaries[1:][live] - 1)
-            targets = graph.targets[flat_edges[positions]]
-            walkers.move(live_ids, targets)
-            self._rejection_streak[live_ids] = 0
-            self.stats.total_steps += live_ids.size
-            if self._recorder is not None:
-                self._recorder.record_moves(live_ids, targets)
-        return evaluations
+            edges = spans.sample(live, self._rng)
+            self._commit_moves(ids[live], self.graph.targets[edges])
+        return spans.evaluations
 
     def _scalar_round(
         self, walker_ids: np.ndarray

@@ -36,15 +36,26 @@ from repro.sampling.rejection import SamplingCounters
 __all__ = [
     "TrialOutcome",
     "MultiTrialOutcome",
+    "GatherContext",
+    "FullScanSpans",
     "KernelScratch",
+    "ZERO_MASS_GUARD_TRIALS",
     "adaptive_trial_count",
     "batch_trial_round",
     "batch_multi_trial_round",
     "full_scan_distribution",
     "full_scan_mass",
+    "full_scan_spans",
+    "gather_stage",
 ]
 
 StaticTables = VertexAliasTables | VertexITSTables
+
+# After this many consecutive rejections a walker's vertex is fully
+# scanned once to distinguish "unlucky" from "zero eligible mass".
+# (Defined here so the kernels, the engines, and the step executor
+# share one constant without import cycles.)
+ZERO_MASS_GUARD_TRIALS = 64
 
 # Fused-trial clamp: at least 2 trials per fused round (1 would be the
 # single-trial kernel with extra bookkeeping), at most 16 (beyond the
@@ -75,7 +86,9 @@ class KernelScratch:
     def get(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
         """A writable array view of the requested shape (uninitialised)."""
         dtype = np.dtype(dtype)
-        size = int(np.prod(shape))
+        size = 1
+        for extent in shape:  # math-only: np.prod costs an array per call
+            size *= int(extent)
         key = (name, dtype.str)
         buffer = self._buffers.get(key)
         if buffer is None or buffer.size < size:
@@ -120,16 +133,79 @@ def adaptive_trial_count(
 
 
 @dataclass
+class GatherContext:
+    """Product of the Gather stage: per-lane state fetched once.
+
+    The step-centric engine computes these arrays once per iteration
+    (per surviving walker) and threads them through every sampling
+    round, instead of re-gathering vertex state from the graph-wide
+    arrays inside each kernel call.  ``classes`` carries the degree
+    class per lane for the sampler selector; it is ``None`` when the
+    caller does not select per class (the walker-centric engine).
+
+    All arrays align lane-for-lane with ``walker_ids``.  Slicing with
+    :meth:`take` keeps the alignment for shrinking pending sets.
+    """
+
+    walker_ids: np.ndarray
+    vertices: np.ndarray
+    upper: np.ndarray
+    lower: np.ndarray
+    main_area: np.ndarray
+    classes: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return self.walker_ids.size
+
+    def take(self, lanes: np.ndarray) -> "GatherContext":
+        """The sub-context of the given lane positions (or mask)."""
+        return GatherContext(
+            walker_ids=self.walker_ids[lanes],
+            vertices=self.vertices[lanes],
+            upper=self.upper[lanes],
+            lower=self.lower[lanes],
+            main_area=self.main_area[lanes],
+            classes=self.classes[lanes] if self.classes is not None else None,
+        )
+
+
+def gather_stage(
+    tables: StaticTables,
+    walkers: WalkerSet,
+    walker_ids: np.ndarray,
+    upper_bounds: np.ndarray,
+    lower_bounds: np.ndarray,
+    vertex_class: np.ndarray | None = None,
+) -> GatherContext:
+    """Fetch per-lane vertex state (the Gather stage) in one pass."""
+    vertices = walkers.current[walker_ids]
+    upper = upper_bounds[vertices]
+    return GatherContext(
+        walker_ids=walker_ids,
+        vertices=vertices,
+        upper=upper,
+        lower=lower_bounds[vertices],
+        main_area=tables.totals[vertices] * upper,
+        classes=vertex_class[vertices] if vertex_class is not None else None,
+    )
+
+
+@dataclass
 class TrialOutcome:
     """Result of one batch trial round.
 
     ``accepted`` and ``edges`` align with the input ``walker_ids``:
     where ``accepted[i]`` is True, ``edges[i]`` holds the flat index of
-    the sampled edge; elsewhere ``edges[i]`` is -1.
+    the sampled edge; elsewhere ``edges[i]`` is -1.  ``pd_lanes`` lists
+    the lane positions whose trial evaluated Pd (main-region misses of
+    the pre-acceptance floor plus appendix darts) — the per-class
+    evidence the sampler selector feeds on.
     """
 
     accepted: np.ndarray
     edges: np.ndarray
+    pd_lanes: np.ndarray | None = None
 
 
 @dataclass
@@ -166,6 +242,8 @@ def batch_trial_round(
     counters: SamplingCounters,
     use_outliers: bool = True,
     validate_bounds: bool = False,
+    gather: GatherContext | None = None,
+    scratch: KernelScratch | None = None,
 ) -> TrialOutcome:
     """One rejection-sampling trial for every walker in ``walker_ids``.
 
@@ -179,12 +257,24 @@ def batch_trial_round(
     sampled law, so the check turns that bug into a loud
     :class:`~repro.errors.ProgramError` — at the cost of one comparison
     per evaluation, hence opt-in.
+
+    ``gather`` supplies the Gather stage's pre-fetched per-lane state
+    (the step-centric engine computes it once per iteration); without
+    it the gathers run here.  ``scratch`` recycles the dart buffer
+    across rounds; both options leave the RNG stream untouched, so a
+    round with or without them is bit-identical.
     """
     count = walker_ids.size
-    vertices = walkers.current[walker_ids]
-    upper = upper_bounds[vertices]
-    lower = lower_bounds[vertices]
-    main_area = tables.totals[vertices] * upper
+    if gather is not None:
+        vertices = gather.vertices
+        upper = gather.upper
+        lower = gather.lower
+        main_area = gather.main_area
+    else:
+        vertices = walkers.current[walker_ids]
+        upper = upper_bounds[vertices]
+        lower = lower_bounds[vertices]
+        main_area = tables.totals[vertices] * upper
 
     outlier_edges = None
     outlier_masses = None
@@ -227,10 +317,20 @@ def batch_trial_round(
             edges,
         )
 
+    pd_lanes = np.zeros(0, dtype=np.int64)
     if main_lanes.size:
-        candidates = tables.sample_batch(vertices[main_lanes], rng)
-        darts = rng.random(main_lanes.size) * upper[main_lanes]
-        pre = darts <= lower[main_lanes]
+        whole_batch = main_lanes.size == count
+        candidates = tables.sample_batch(
+            vertices if whole_batch else vertices[main_lanes], rng
+        )
+        if scratch is not None:
+            darts = scratch.random(rng, "trial_darts", (main_lanes.size,))
+            darts *= upper if whole_batch else upper[main_lanes]
+        else:
+            darts = rng.random(main_lanes.size) * (
+                upper if whole_batch else upper[main_lanes]
+            )
+        pre = darts <= (lower if whole_batch else lower[main_lanes])
         counters.pre_accepts += int(pre.sum())
         pre_lanes = main_lanes[pre]
         accepted[pre_lanes] = True
@@ -255,9 +355,13 @@ def batch_trial_round(
             ok_lanes = lanes[passed]
             accepted[ok_lanes] = True
             edges[ok_lanes] = candidates[need][passed]
+            pd_lanes = lanes
+
+    if appendix_area is not None and appendix_lanes.size:
+        pd_lanes = np.concatenate([pd_lanes, appendix_lanes])
 
     counters.accepts += int(accepted.sum())
-    return TrialOutcome(accepted=accepted, edges=edges)
+    return TrialOutcome(accepted=accepted, edges=edges, pd_lanes=pd_lanes)
 
 
 def _validate_envelope(
@@ -337,6 +441,7 @@ def batch_multi_trial_round(
     use_outliers: bool = True,
     validate_bounds: bool = False,
     scratch: KernelScratch | None = None,
+    gather: GatherContext | None = None,
 ) -> MultiTrialOutcome:
     """K speculative rejection trials per walker, fused into one round.
 
@@ -369,10 +474,16 @@ def batch_multi_trial_round(
     if scratch is None:
         scratch = KernelScratch()
 
-    vertices = walkers.current[walker_ids]
-    upper = upper_bounds[vertices]
-    lower = lower_bounds[vertices]
-    main_area = tables.totals[vertices] * upper
+    if gather is not None:
+        vertices = gather.vertices
+        upper = gather.upper
+        lower = gather.lower
+        main_area = gather.main_area
+    else:
+        vertices = walkers.current[walker_ids]
+        upper = upper_bounds[vertices]
+        lower = lower_bounds[vertices]
+        main_area = tables.totals[vertices] * upper
 
     outlier_edges = None
     outlier_masses = None
@@ -530,6 +641,91 @@ def batch_multi_trial_round(
         edges=edges,
         trials_used=trials_used,
         pd_evaluations=pd_per_walker,
+    )
+
+
+@dataclass
+class FullScanSpans:
+    """Per-edge masses of several walkers' full vertex scans.
+
+    Everything a caller needs to resolve each walker exactly:
+    ``running`` is the cumulative ``Ps * Pd`` mass over the
+    concatenated spans, ``boundaries[i]:boundaries[i+1]`` delimits
+    walker ``i``'s slice of ``flat_edges``, ``totals[i]`` is its
+    eligible mass (``<= 0`` means no eligible out-edge — terminate),
+    and ``evaluations[i]`` counts the Pd evaluations spent on it (the
+    distributed engine charges them to the walker's node).
+
+    Shared by the engines' zero-mass guard and the step engine's
+    ``full_scan`` strategy, so both resolve walkers through the same
+    vectorised span assembly (one ``batch_dynamic_comp`` over the
+    concatenated spans, one global-CDF ``searchsorted`` for the
+    draws).
+    """
+
+    flat_edges: np.ndarray
+    boundaries: np.ndarray
+    running: np.ndarray
+    totals: np.ndarray
+    evaluations: np.ndarray
+
+    def sample(
+        self, lanes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact draws for the given (positive-mass) lanes; returns
+        flat edge indices.  One ``rng.random`` call of ``lanes.size``."""
+        seg_start = self.boundaries[:-1][lanes]
+        base = np.where(seg_start > 0, self.running[seg_start - 1], 0.0)
+        draws = base + rng.random(lanes.size) * self.totals[lanes]
+        positions = np.searchsorted(self.running, draws, side="right")
+        positions = np.clip(
+            positions, seg_start, self.boundaries[1:][lanes] - 1
+        )
+        return self.flat_edges[positions]
+
+
+def full_scan_spans(
+    graph,
+    tables: StaticTables,
+    program: WalkerProgram,
+    walkers: WalkerSet,
+    walker_ids: np.ndarray,
+) -> FullScanSpans:
+    """Vectorised ``Ps * Pd`` over every walker's whole edge slice.
+
+    Every walker must sit at a vertex with at least one out-edge (the
+    engines filter dead ends through Pe first).  Consumes no
+    randomness — sampling is the caller's move stage.
+    """
+    vertices = walkers.current[walker_ids].astype(np.int64)
+    starts = graph.offsets[vertices].astype(np.int64)
+    counts = graph.offsets[vertices + 1].astype(np.int64) - starts
+    boundaries = np.zeros(walker_ids.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=boundaries[1:])
+    flat_edges = np.repeat(starts - boundaries[:-1], counts) + np.arange(
+        boundaries[-1]
+    )
+    owner = np.repeat(np.arange(walker_ids.size), counts)
+
+    static = tables.static_weights[flat_edges]
+    mass = np.zeros(flat_edges.size, dtype=np.float64)
+    positive = np.flatnonzero(static > 0.0)
+    evaluations = np.zeros(walker_ids.size, dtype=np.int64)
+    if positive.size:
+        dynamic = program.batch_dynamic_comp(
+            graph, walkers, walker_ids[owner[positive]], flat_edges[positive]
+        )
+        mass[positive] = static[positive] * dynamic
+        evaluations = np.bincount(owner[positive], minlength=walker_ids.size)
+
+    running = np.cumsum(mass)
+    totals = np.add.reduceat(mass, boundaries[:-1])
+    return FullScanSpans(
+        flat_edges=flat_edges,
+        boundaries=boundaries,
+        running=running,
+        totals=totals,
+        evaluations=evaluations,
     )
 
 

@@ -1,0 +1,354 @@
+"""Per-degree-class sampler selection for the step-centric engine.
+
+KnightKing fixes one sampling strategy per algorithm: alias (or ITS)
+candidate generation inside rejection sampling, with a full scan only
+as the zero-mass guard of last resort.  FlexiWalker (PAPERS.md) shows
+the better strategy varies *within* one walk — by vertex degree and by
+the observed acceptance rate — so this module replaces the global
+choice with a per-degree-class decision re-evaluated as the walk runs.
+
+Vertices are bucketed into logarithmic out-degree classes (class ``c``
+holds degrees in ``[2**c, 2**(c+1))``).  For each class the selector
+chooses between three resolution strategies:
+
+* ``rejection`` — the paper's envelope/dart scheme (the incumbent);
+* ``full_scan`` — evaluate ``Ps * Pd`` over the whole edge slice and
+  move by one exact CDF draw, which beats rejection when the expected
+  trial count exceeds the slice length (low acceptance rates, scheme
+  dead ends in Meta-path);
+* ``direct``   — plain candidate sampling with no dart at all, exact
+  for static programs where Pd is identically 1.
+
+and, independently, between the two static candidate generators
+(``alias`` vs ``its``) — decided once per class from their fixed
+per-draw costs, since neither depends on runtime feedback.
+
+The cost model is deliberately small and *deterministic*: its only
+inputs are per-class counters (trials, accepts, Pd evaluations — all
+carried in :class:`SamplerDecisionStats`, which lives on
+:class:`~repro.core.stats.WalkStats` so checkpoint/rewind replays the
+same decisions) and static per-class mean degrees.  Wall-clock never
+feeds a decision, so two runs of one seeded config always pick the
+same strategies in the same iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "NUM_DEGREE_CLASSES",
+    "STRATEGY_REJECTION",
+    "STRATEGY_FULL_SCAN",
+    "STRATEGY_DIRECT",
+    "STRATEGY_NAMES",
+    "SamplerDecisionStats",
+    "SamplerSelector",
+    "classify_degrees",
+    "degree_class_label",
+]
+
+# Log2 degree classes 0..11; the last class is open-ended ("&ge;2048").
+NUM_DEGREE_CLASSES = 12
+_CLASS_BOUNDARIES = 2 ** np.arange(1, NUM_DEGREE_CLASSES, dtype=np.int64)
+
+# Strategy codes, also indices into per-class decision arrays.
+STRATEGY_REJECTION = 0
+STRATEGY_FULL_SCAN = 1
+STRATEGY_DIRECT = 2
+STRATEGY_NAMES = ("rejection", "full_scan", "direct")
+
+# ---------------------------------------------------------------------------
+# Cost model constants, in "lane-ops" (one vectorised gather or one
+# uniform draw across a batch lane ~ 1).  Absolute values matter less
+# than ratios; INTERNALS.md section 12 documents the calibration.
+# ---------------------------------------------------------------------------
+# One rejection trial: candidate draw (2 ops alias), dart draw, dart
+# compare, accept bookkeeping.
+COST_TRIAL = 4.0
+# One Pd evaluation through a program batch hook (hash probe or state
+# compare plus the dispatch overhead amortised over a batch).
+COST_PD = 2.0
+# Full scan: per-edge static gather + mass multiply, plus a fixed
+# span-assembly overhead per lane (repeat/reduceat/searchsorted).
+COST_SCAN_EDGE = 1.0
+COST_SCAN_SETUP = 4.0
+# Candidate generators: alias = 2 uniforms + 2 gathers; ITS = 1
+# uniform + a binary search over the global CDF (log2 |E| probes with
+# poor locality, discounted because the probes are in one C loop).
+COST_ALIAS_DRAW = 4.0
+ITS_SEARCH_DISCOUNT = 0.5
+
+# A class switches strategy only when the challenger is at least this
+# factor cheaper — hysteresis against flapping on noisy early rates.
+SWITCH_MARGIN = 1.25
+# Acceptance rates are trusted only after this many observed trials in
+# a class; before that the incumbent stays.
+MIN_CLASS_TRIALS = 256
+# Rejection's expected trial count is capped by the zero-mass guard.
+MAX_EXPECTED_TRIALS = 64.0
+
+# Group-size histogram buckets (walkers co-located on one vertex).
+_GROUP_BUCKETS = ((1, "1"), (3, "2-3"), (7, "4-7"), (None, "8+"))
+
+
+def classify_degrees(degrees: np.ndarray) -> np.ndarray:
+    """Map out-degrees to log2 class indices (vectorised, int8)."""
+    return np.digitize(
+        np.asarray(degrees, dtype=np.int64), _CLASS_BOUNDARIES
+    ).astype(np.int8)
+
+
+def degree_class_label(index: int) -> str:
+    """Human-readable degree range of one class, e.g. ``"4-7"``."""
+    low = 1 << index if index > 0 else 0
+    if index >= NUM_DEGREE_CLASSES - 1:
+        return f">={low}"
+    high = (1 << (index + 1)) - 1
+    return f"{low}-{high}" if high > low else f"{low}"
+
+
+def _zero_classes() -> np.ndarray:
+    return np.zeros(NUM_DEGREE_CLASSES, dtype=np.int64)
+
+
+def _default_choices() -> np.ndarray:
+    return np.full(NUM_DEGREE_CLASSES, STRATEGY_REJECTION, dtype=np.int8)
+
+
+@dataclass(eq=False)
+class SamplerDecisionStats:
+    """Auditable record (and working state) of sampler auto-selection.
+
+    Lives on :class:`~repro.core.stats.WalkStats` so the distributed
+    engine's checkpoint/restore (which deep-copies stats) rewinds the
+    selector's evidence together with everything else — a replayed
+    superstep re-derives identical decisions.
+
+    ``trials/accepts/pd_by_class`` count rejection work per degree
+    class; ``lanes_by_class`` counts resolved lanes per (class,
+    strategy) so the decision mix is visible after the run;
+    ``switch_events`` records every strategy change with its iteration;
+    ``group_size_histogram`` samples how many co-located walkers share
+    a vertex (the gather stage's grouping opportunity).
+    """
+
+    policy: str = "fixed"
+    candidate_source: str = "alias"
+    trials_by_class: np.ndarray = field(default_factory=_zero_classes)
+    accepts_by_class: np.ndarray = field(default_factory=_zero_classes)
+    pd_by_class: np.ndarray = field(default_factory=_zero_classes)
+    lanes_by_class: np.ndarray = field(
+        default_factory=lambda: np.zeros(
+            (NUM_DEGREE_CLASSES, len(STRATEGY_NAMES)), dtype=np.int64
+        )
+    )
+    chosen_strategy: np.ndarray = field(default_factory=_default_choices)
+    source_by_class: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_DEGREE_CLASSES, dtype=np.int8)
+    )
+    switch_events: list[dict[str, Any]] = field(default_factory=list)
+    group_size_histogram: dict[str, int] = field(default_factory=dict)
+
+    def record_group_sizes(self, sizes: np.ndarray) -> None:
+        """Fold one sampled iteration's vertex-group sizes in."""
+        previous = 0
+        for bound, label in _GROUP_BUCKETS:
+            if bound is None:
+                count = int((sizes > previous).sum())
+            else:
+                count = int(((sizes > previous) & (sizes <= bound)).sum())
+                previous = bound
+            if count:
+                self.group_size_histogram[label] = (
+                    self.group_size_histogram.get(label, 0) + count
+                )
+
+    def chosen_by_class(self) -> dict[str, str]:
+        """Latest strategy per degree class that resolved any lane."""
+        chosen: dict[str, str] = {}
+        touched = self.lanes_by_class.sum(axis=1) > 0
+        for index in np.flatnonzero(touched):
+            chosen[degree_class_label(int(index))] = STRATEGY_NAMES[
+                int(self.chosen_strategy[index])
+            ]
+        return chosen
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary for the perf harness and WalkResult dumps."""
+        lanes: dict[str, dict[str, int]] = {}
+        for index in range(NUM_DEGREE_CLASSES):
+            row = self.lanes_by_class[index]
+            if row.sum() == 0:
+                continue
+            lanes[degree_class_label(index)] = {
+                STRATEGY_NAMES[s]: int(row[s])
+                for s in range(len(STRATEGY_NAMES))
+                if row[s]
+            }
+        return {
+            "policy": self.policy,
+            "candidate_source": self.candidate_source,
+            "chosen_by_class": self.chosen_by_class(),
+            "lanes_by_class": lanes,
+            "switch_events": list(self.switch_events),
+            "group_size_histogram": dict(self.group_size_histogram),
+        }
+
+
+class SamplerSelector:
+    """Stateless decision logic over :class:`SamplerDecisionStats`.
+
+    All mutable evidence lives on the stats object passed into each
+    call (see its docstring for why); the selector itself holds only
+    static per-class facts derived from the graph at init.
+    """
+
+    def __init__(
+        self,
+        degrees: np.ndarray,
+        vertex_class: np.ndarray,
+        dynamic: bool,
+        num_edges: int,
+    ) -> None:
+        self.dynamic = dynamic
+        counts = np.bincount(
+            vertex_class, minlength=NUM_DEGREE_CLASSES
+        ).astype(np.float64)
+        mass = np.bincount(
+            vertex_class,
+            weights=np.asarray(degrees, dtype=np.float64),
+            minlength=NUM_DEGREE_CLASSES,
+        )
+        with np.errstate(invalid="ignore"):
+            mean = np.where(counts > 0, mass / np.maximum(counts, 1), 0.0)
+        self.mean_degree_by_class = mean
+        # Per-draw candidate generator costs (static, per class).
+        self._its_draw_cost = 1.0 + ITS_SEARCH_DISCOUNT * np.log2(
+            max(num_edges, 2)
+        )
+
+    # ------------------------------------------------------------------
+    def initial_decisions(
+        self, stats: SamplerDecisionStats, primary_source: str
+    ) -> None:
+        """Seed the per-class choices before the first iteration.
+
+        Static programs resolve every class with ``direct`` (Pd is 1,
+        so a dart can never reject — the strategies coincide in law).
+        The candidate source is decided here once: its per-draw costs
+        are fixed properties of the structures, not runtime feedback.
+        """
+        if not self.dynamic:
+            stats.chosen_strategy[:] = STRATEGY_DIRECT
+        alias_wins = COST_ALIAS_DRAW <= self._its_draw_cost
+        chosen = "alias" if alias_wins else "its"
+        stats.candidate_source = chosen
+        stats.source_by_class[:] = 0 if chosen == "alias" else 1
+        if chosen != primary_source:
+            stats.switch_events.append(
+                {
+                    "iteration": 0,
+                    "degree_class": "*",
+                    "from": primary_source,
+                    "to": chosen,
+                    "what": "candidate_source",
+                }
+            )
+
+    def decide(self, stats: SamplerDecisionStats, iteration: int) -> np.ndarray:
+        """Re-evaluate per-class strategies; returns the choices array.
+
+        Rejection's expected cost per resolved lane is
+        ``E[trials] * (COST_TRIAL + pd_fraction * COST_PD)`` with
+        ``E[trials] = 1 / acceptance_rate`` capped by the zero-mass
+        guard; a full scan costs the class's mean degree in edge work
+        plus Pd over every positive edge.  A class switches only past
+        ``SWITCH_MARGIN`` and only once its rate rests on at least
+        ``MIN_CLASS_TRIALS`` observed trials.
+        """
+        if not self.dynamic:
+            return stats.chosen_strategy
+        trials = stats.trials_by_class
+        informed = np.flatnonzero(trials >= MIN_CLASS_TRIALS)
+        for index in informed:
+            observed = float(trials[index])
+            rate = float(stats.accepts_by_class[index]) / observed
+            expected_trials = (
+                MAX_EXPECTED_TRIALS
+                if rate <= 1.0 / MAX_EXPECTED_TRIALS
+                else 1.0 / rate
+            )
+            pd_fraction = float(stats.pd_by_class[index]) / observed
+            reject_cost = expected_trials * (
+                COST_TRIAL + pd_fraction * COST_PD
+            )
+            degree = self.mean_degree_by_class[index]
+            scan_cost = COST_SCAN_SETUP + degree * (COST_SCAN_EDGE + COST_PD)
+            incumbent = int(stats.chosen_strategy[index])
+            if incumbent == STRATEGY_REJECTION:
+                challenger_wins = scan_cost * SWITCH_MARGIN < reject_cost
+                challenger = STRATEGY_FULL_SCAN
+            else:
+                challenger_wins = reject_cost * SWITCH_MARGIN < scan_cost
+                challenger = STRATEGY_REJECTION
+            if challenger_wins:
+                stats.chosen_strategy[index] = challenger
+                stats.switch_events.append(
+                    {
+                        "iteration": int(iteration),
+                        "degree_class": degree_class_label(int(index)),
+                        "from": STRATEGY_NAMES[incumbent],
+                        "to": STRATEGY_NAMES[challenger],
+                        "what": "strategy",
+                    }
+                )
+        return stats.chosen_strategy
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def account_rejection(
+        stats: SamplerDecisionStats,
+        classes: np.ndarray,
+        trials: np.ndarray | int,
+        accepted: np.ndarray,
+        pd_lanes: np.ndarray | None = None,
+        pd_counts: np.ndarray | None = None,
+    ) -> None:
+        """Fold one rejection round's per-lane work into the evidence.
+
+        ``pd_lanes`` (lane positions, one evaluation each) comes from
+        the single-trial kernel; ``pd_counts`` (per-lane totals) from
+        the fused kernel.  Pass one or the other.
+        """
+        if isinstance(trials, np.ndarray):
+            stats.trials_by_class += np.bincount(
+                classes, weights=trials, minlength=NUM_DEGREE_CLASSES
+            ).astype(np.int64)
+        else:
+            stats.trials_by_class += np.bincount(
+                classes, minlength=NUM_DEGREE_CLASSES
+            ) * int(trials)
+        stats.accepts_by_class += np.bincount(
+            classes[accepted], minlength=NUM_DEGREE_CLASSES
+        )
+        if pd_lanes is not None and pd_lanes.size:
+            stats.pd_by_class += np.bincount(
+                classes[pd_lanes], minlength=NUM_DEGREE_CLASSES
+            )
+        if pd_counts is not None:
+            stats.pd_by_class += np.bincount(
+                classes, weights=pd_counts, minlength=NUM_DEGREE_CLASSES
+            ).astype(np.int64)
+
+    @staticmethod
+    def account_lanes(
+        stats: SamplerDecisionStats, classes: np.ndarray, strategy: int
+    ) -> None:
+        """Count lanes handled by ``strategy`` this round, per class."""
+        stats.lanes_by_class[:, strategy] += np.bincount(
+            classes, minlength=NUM_DEGREE_CLASSES
+        )

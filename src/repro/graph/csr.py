@@ -74,12 +74,17 @@ def _key_hash_contains(
     table: np.ndarray, bits: int, queries: np.ndarray
 ) -> np.ndarray:
     """Vectorised membership test against :func:`_build_key_hash`."""
-    found = np.zeros(queries.size, dtype=bool)
     mask = np.uint64(table.size - 1)
-    active = np.arange(queries.size)
     slots = _hash_slots(queries, bits)
-    values = queries
-    distance = np.uint64(0)
+    # First probe on the full batch without lane tracking — at the
+    # table's load factor most queries resolve here, so the fancy
+    # indexing below only ever touches the collision tail.
+    occupants = table[slots]
+    found = occupants == queries
+    active = np.flatnonzero(~found & (occupants != _EMPTY_SLOT))
+    slots = slots[active]
+    values = queries[active]
+    distance = np.uint64(1)
     while active.size:
         occupants = table[(slots + distance) & mask]
         hit = occupants == values

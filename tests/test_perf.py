@@ -4,6 +4,7 @@ import json
 
 from repro.bench.perf import (
     PERF_WORKLOADS,
+    enforce_engine_floor,
     format_report,
     run_perf,
     write_report,
@@ -18,6 +19,11 @@ def test_quick_report_roundtrip(tmp_path):
         assert entry["steps"] > 0
         assert entry["steps_per_sec"] > 0
         assert entry["single_trial_steps_per_sec"] > 0
+        assert entry["walker_mode_steps_per_sec"] > 0
+        assert entry["auto_policy_steps_per_sec"] > 0
+        # The auto-policy run records its per-degree-class decisions.
+        assert entry["sampler"]["policy"] == "auto"
+        assert entry["sampler"]["chosen_by_class"]
     # The fused kernel engages exactly on the step-paced dynamic
     # workload; node2vec is trial-paced and DeepWalk static.
     assert report["workloads"]["metapath"]["fused"] is True
@@ -27,10 +33,21 @@ def test_quick_report_roundtrip(tmp_path):
         report["workloads"]["metapath"]["fused_speedup_vs_single_trial"]
         is not None
     )
-    assert report["workloads"]["deepwalk"]["fused_speedup_vs_single_trial"] is None
+    # Where the fused kernel never engages the ratio is omitted, not
+    # carried as null.
+    assert (
+        "fused_speedup_vs_single_trial" not in report["workloads"]["deepwalk"]
+    )
+    assert (
+        "fused_speedup_vs_single_trial" not in report["workloads"]["node2vec"]
+    )
     # Quick numbers must never be compared against the full-run
     # pre-PR reference.
     assert "speedup_vs_pre_pr" not in report["workloads"]["node2vec"]
+    # The floor gate runs against this schema (a tiny quick run is too
+    # noisy to assert it *passes*, only that it evaluates).
+    assert isinstance(enforce_engine_floor(report), list)
+    assert enforce_engine_floor(report, floor=0.0) == []
 
     path = write_report(report, tmp_path / "BENCH_walks.json")
     loaded = json.loads(path.read_text(encoding="utf-8"))
