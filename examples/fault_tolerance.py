@@ -1,14 +1,20 @@
 """Fault-tolerant distributed walking: chaos with receipts.
 
-Runs the same node2vec workload twice on the 4-node cluster simulator —
-once on a healthy cluster, once under a hostile fault plan (a node
-crash mid-walk plus message drops, duplicates, and delays on every
-protocol message) — and shows the engine's two guarantees:
+Runs the same node2vec workload on the 4-node cluster simulator —
+once on a healthy cluster, once under a hostile message/crash plan,
+and once on a *degraded* cluster (a ramping straggler node plus a
+flaky high-RTT link, the CLI's ``--fault-slowdown`` /
+``--fault-flaky-link`` flags) — and shows the engine's guarantees:
 
-* the *walk is unchanged*: reliable delivery plus checkpoint/replay
-  recovery make the faulty run bit-identical to the healthy one, and
+* the *walk is unchanged*: reliable delivery, checkpoint/replay
+  recovery, speculation, and rebalancing never touch the walk RNG, so
+  every faulty run is bit-identical to the healthy one;
 * the *cost is itemised*: retransmissions, dedup discards, checkpoints,
-  and replayed supersteps all land on the simulated-time bill.
+  replayed supersteps, speculative copies, and migrated walkers all
+  land on the simulated-time bill; and
+* the *straggler is contained*: the failure detector flags the slow
+  node, timers adapt to the flaky link, and speculation + rebalancing
+  pull the barrier time back toward the healthy nodes' pace.
 
 Run with:  python examples/fault_tolerance.py
 """
@@ -20,15 +26,18 @@ from repro.algorithms import Node2Vec
 from repro.cluster import (
     DistributedWalkEngine,
     FaultPlan,
+    FlakyLink,
     MessageFaults,
     NodeCrash,
+    NodeSlowdown,
+    StragglerPolicy,
 )
 from repro.graph import twitter_like
 
 NUM_NODES = 4
 
 
-def run(graph, config, fault_plan=None):
+def run(graph, config, fault_plan=None, straggler_policy=None):
     engine = DistributedWalkEngine(
         graph,
         Node2Vec(p=2.0, q=0.5, biased=False),
@@ -36,6 +45,7 @@ def run(graph, config, fault_plan=None):
         num_nodes=NUM_NODES,
         fault_plan=fault_plan,
         checkpoint_every=6 if fault_plan is not None else None,
+        straggler_policy=straggler_policy,
     )
     return engine.run()
 
@@ -50,26 +60,60 @@ def main() -> None:
         crashes=(NodeCrash(superstep=5, node=1),),
         default_faults=MessageFaults(drop=0.08, duplicate=0.04, delay=0.03),
     )
+    # The degraded-cluster plan: node 1 ramps to 5x slower from
+    # superstep 2, and the 0<->2 link drops/delays messages at a 4x RTT.
+    # CLI equivalent:
+    #   repro walk ... --nodes 4 --fault-slowdown 1:5.0:2:4 \
+    #       --fault-flaky-link 0:2:0.2:0.25
+    degraded_plan = FaultPlan(
+        seed=23,
+        slowdowns=(NodeSlowdown(node=1, factor=5.0, start_superstep=2,
+                                ramp_supersteps=4),),
+        flaky_links=(FlakyLink(a=0, b=2,
+                               faults=MessageFaults(drop=0.2, delay=0.25),
+                               rtt_factor=4.0),),
+    )
     healthy = run(graph, config)
     chaotic = run(graph, config, fault_plan=plan)
+    degraded = run(graph, config, fault_plan=degraded_plan)
+    # Same degraded cluster with the tolerance stack switched off:
+    # every barrier waits for the straggler at full stretch.
+    naive = run(
+        graph, config, fault_plan=degraded_plan,
+        straggler_policy=StragglerPolicy(speculate=False, rebalance=False),
+    )
 
     identical = all(
-        np.array_equal(a, b) for a, b in zip(healthy.paths, chaotic.paths)
+        np.array_equal(a, b)
+        for run_paths in (chaotic.paths, degraded.paths, naive.paths)
+        for a, b in zip(healthy.paths, run_paths)
     )
     print(f"\nwalks bit-identical under faults: {identical}")
-    chaotic.cluster.delivery.check_conservation()
+    for result in (chaotic, degraded, naive):
+        result.cluster.delivery.check_conservation()
     print("delivery conservation laws: OK (exactly-once migration)")
 
     print("\nhealthy run")
     print("  " + healthy.cluster.report().replace("\n", "\n  "))
-    print("chaotic run")
+    print("chaotic run (crash + message faults)")
     print("  " + chaotic.cluster.report().replace("\n", "\n  "))
+    print("degraded run (straggler + flaky link, tolerance on)")
+    print("  " + degraded.cluster.report().replace("\n", "\n  "))
 
     overhead = (
         chaotic.cluster.simulated_seconds / healthy.cluster.simulated_seconds
         - 1.0
     )
     print(f"\nrobustness bill: +{overhead:.1%} simulated time")
+    saved = 1.0 - (
+        degraded.cluster.simulated_seconds / naive.cluster.simulated_seconds
+    )
+    print(
+        "straggler tolerance: "
+        f"{degraded.cluster.simulated_seconds:.4f}s vs "
+        f"{naive.cluster.simulated_seconds:.4f}s naive "
+        f"({saved:.1%} of the straggler tax recovered)"
+    )
 
 
 if __name__ == "__main__":

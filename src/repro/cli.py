@@ -46,8 +46,10 @@ from repro.algorithms import (
 from repro.cluster import (
     DistributedWalkEngine,
     FaultPlan,
+    FlakyLink,
     MessageFaults,
     NodeCrash,
+    NodeSlowdown,
 )
 from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
@@ -109,38 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="stream the walk corpus to this file (constant memory)",
     )
-    faults = walk.add_argument_group(
-        "fault injection (require --nodes > 0)"
-    )
-    faults.add_argument(
-        "--fault-seed", type=int, default=0,
-        help="seed of the fault RNG stream (separate from --seed)",
-    )
-    faults.add_argument(
-        "--drop", type=float, default=0.0,
-        help="per-transmission message drop probability",
-    )
-    faults.add_argument(
-        "--duplicate", type=float, default=0.0,
-        help="per-transmission message duplication probability",
-    )
-    faults.add_argument(
-        "--delay-rate", type=float, default=0.0,
-        help="probability a message arrives after the sender's timeout",
-    )
-    faults.add_argument(
-        "--crash", action="append", default=[], metavar="SUPERSTEP:NODE[:dead]",
-        help="crash NODE at SUPERSTEP; ':dead' keeps it down (repeatable)",
-    )
-    faults.add_argument(
-        "--checkpoint-every", type=int, default=None, metavar="K",
-        help="recovery-checkpoint cadence in supersteps (0 disables)",
-    )
-    faults.add_argument(
-        "--degrade", action="store_true",
-        help="re-partition a permanently dead node's vertices across "
-        "survivors instead of aborting",
-    )
+    _add_fault_arguments(walk)
 
     bench = subparsers.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument("experiment", choices=EXPERIMENTS)
@@ -224,7 +195,56 @@ def build_parser() -> argparse.ArgumentParser:
         "each (instead of re-running one engine) and require their "
         "event streams to fold to the same hash",
     )
+    _add_fault_arguments(sanitize)
     return parser
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection flags shared by the cluster subcommands."""
+    faults = parser.add_argument_group(
+        "fault injection (require --nodes > 0)"
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault RNG stream (separate from --seed)",
+    )
+    faults.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-transmission message drop probability",
+    )
+    faults.add_argument(
+        "--duplicate", type=float, default=0.0,
+        help="per-transmission message duplication probability",
+    )
+    faults.add_argument(
+        "--delay-rate", type=float, default=0.0,
+        help="probability a message arrives after the sender's timeout",
+    )
+    faults.add_argument(
+        "--crash", action="append", default=[], metavar="SUPERSTEP:NODE[:dead]",
+        help="crash NODE at SUPERSTEP; ':dead' keeps it down (repeatable)",
+    )
+    faults.add_argument(
+        "--fault-slowdown", action="append", default=[],
+        metavar="NODE:FACTOR[:START[:RAMP[:END]]]",
+        help="make NODE a straggler: FACTOR times slower, ramping in over "
+        "RAMP supersteps from START, recovering at END (repeatable)",
+    )
+    faults.add_argument(
+        "--fault-flaky-link", action="append", default=[],
+        metavar="A:B:DROP[:DELAY[:DUP[:RTT]]]",
+        help="degrade the A<->B link: elevated drop/delay/duplicate rates "
+        "and an RTT inflation factor (repeatable)",
+    )
+    faults.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="recovery-checkpoint cadence in supersteps (0 disables)",
+    )
+    faults.add_argument(
+        "--degrade", action="store_true",
+        help="re-partition a permanently dead node's vertices across "
+        "survivors instead of aborting",
+    )
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -280,17 +300,74 @@ def _parse_crash(spec: str) -> NodeCrash:
     return NodeCrash(superstep=superstep, node=node, restart=len(parts) == 2)
 
 
+def _parse_slowdown(spec: str) -> NodeSlowdown:
+    parts = spec.split(":")
+    if not 2 <= len(parts) <= 5:
+        raise ReproError(
+            f"bad --fault-slowdown {spec!r}: expected "
+            "NODE:FACTOR[:START[:RAMP[:END]]]"
+        )
+    try:
+        node = int(parts[0])
+        factor = float(parts[1])
+        start = int(parts[2]) if len(parts) >= 3 else 0
+        ramp = int(parts[3]) if len(parts) >= 4 else 0
+        end = int(parts[4]) if len(parts) == 5 else None
+    except ValueError as exc:
+        raise ReproError(f"bad --fault-slowdown {spec!r}: {exc}") from exc
+    try:
+        return NodeSlowdown(
+            node=node, factor=factor, start_superstep=start,
+            ramp_supersteps=ramp, end_superstep=end,
+        )
+    except ReproError as exc:
+        raise ReproError(f"bad --fault-slowdown {spec!r}: {exc}") from exc
+
+
+def _parse_flaky_link(spec: str) -> FlakyLink:
+    parts = spec.split(":")
+    if not 3 <= len(parts) <= 6:
+        raise ReproError(
+            f"bad --fault-flaky-link {spec!r}: expected "
+            "A:B:DROP[:DELAY[:DUP[:RTT]]]"
+        )
+    try:
+        a, b = int(parts[0]), int(parts[1])
+        drop = float(parts[2])
+        delay = float(parts[3]) if len(parts) >= 4 else 0.0
+        duplicate = float(parts[4]) if len(parts) >= 5 else 0.0
+        rtt = float(parts[5]) if len(parts) == 6 else 4.0
+    except ValueError as exc:
+        raise ReproError(f"bad --fault-flaky-link {spec!r}: {exc}") from exc
+    try:
+        return FlakyLink(
+            a=a, b=b,
+            faults=MessageFaults(drop=drop, duplicate=duplicate, delay=delay),
+            rtt_factor=rtt,
+        )
+    except ReproError as exc:
+        raise ReproError(f"bad --fault-flaky-link {spec!r}: {exc}") from exc
+
+
 def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     rates = MessageFaults(
         drop=args.drop, duplicate=args.duplicate, delay=args.delay_rate
     )
     crashes = tuple(_parse_crash(spec) for spec in args.crash)
-    if not rates.active and not crashes:
+    slowdowns = tuple(_parse_slowdown(spec) for spec in args.fault_slowdown)
+    flaky_links = tuple(
+        _parse_flaky_link(spec) for spec in args.fault_flaky_link
+    )
+    if not rates.active and not crashes and not slowdowns and not flaky_links:
         return None
     if args.nodes <= 0:
         raise ReproError("fault injection requires --nodes > 0")
     return FaultPlan(
-        seed=args.fault_seed, crashes=crashes, default_faults=rates
+        seed=args.fault_seed,
+        crashes=crashes,
+        default_faults=rates,
+        slowdowns=slowdowns,
+        flaky_links=flaky_links,
     )
 
 
@@ -471,14 +548,27 @@ def _run_sanitize(args: argparse.Namespace) -> int:
             engine_mode=engine_mode,
         )
 
+    fault_plan = _build_fault_plan(args)
+
     print(f"graph: {graph}")
     print(f"algorithm: {program!r}")
+    if fault_plan is not None:
+        print(
+            "fault plan: certifying bit-identical replay under the "
+            "injected fault schedule"
+        )
 
     def make_factory(config: WalkConfig):
         def factory():
             if args.nodes > 0:
                 return DistributedWalkEngine(
-                    graph, program, config, num_nodes=args.nodes
+                    graph,
+                    program,
+                    config,
+                    num_nodes=args.nodes,
+                    fault_plan=fault_plan,
+                    checkpoint_every=args.checkpoint_every,
+                    degrade_on_crash=args.degrade,
                 )
             return WalkEngine(graph, program, config)
 

@@ -5,6 +5,13 @@ execution, walker-to-vertex query messaging, walker migration, and
 straggler-aware thread scheduling.  Work (trials, Pd evaluations,
 messages) is counted exactly; simulated time comes from a calibrated
 cost model.  See DESIGN.md for the substitution rationale.
+
+Robustness layers: seeded fault injection with exactly-once delivery
+(:mod:`repro.cluster.faults`), checkpoint-based crash recovery
+(:mod:`repro.cluster.recovery`), and degraded-node tolerance — a
+phi-accrual failure detector (:mod:`repro.cluster.health`), adaptive
+per-link retransmission timers, speculative re-execution, and live
+walker rebalancing.
 """
 
 from repro.cluster.cost_model import CostModel, NodeWork
@@ -15,21 +22,28 @@ from repro.cluster.engine import (
     DistributedWalkResult,
 )
 from repro.cluster.faults import (
+    DELAY_LATENCY_MULTIPLIER,
     DeliveryCounters,
     DeliveryStats,
     FaultPlan,
     FaultPlane,
+    FlakyLink,
     MessageFaults,
     NodeCrash,
+    NodeSlowdown,
+    random_degraded_plan,
     random_fault_plan,
 )
-from repro.cluster.network import MessageKind, Network
+from repro.cluster.health import HealthMonitor, HealthPolicy, HealthStats
+from repro.cluster.network import LinkTimers, MessageKind, Network
 from repro.cluster.recovery import RecoveryStats
 from repro.cluster.scheduler import (
     LIGHT_MODE_THREADS,
     LIGHT_MODE_THRESHOLD,
     RetryPolicy,
+    StragglerPolicy,
     ThreadPolicy,
+    WalkerRebalancer,
 )
 
 __all__ = [
@@ -40,8 +54,11 @@ __all__ = [
     "NodeWork",
     "Network",
     "MessageKind",
+    "LinkTimers",
     "ThreadPolicy",
     "RetryPolicy",
+    "StragglerPolicy",
+    "WalkerRebalancer",
     "LIGHT_MODE_THRESHOLD",
     "LIGHT_MODE_THREADS",
     "DEFAULT_CHECKPOINT_INTERVAL",
@@ -49,8 +66,15 @@ __all__ = [
     "FaultPlane",
     "MessageFaults",
     "NodeCrash",
+    "NodeSlowdown",
+    "FlakyLink",
     "DeliveryCounters",
     "DeliveryStats",
     "RecoveryStats",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthStats",
     "random_fault_plan",
+    "random_degraded_plan",
+    "DELAY_LATENCY_MULTIPLIER",
 ]

@@ -103,6 +103,16 @@ class CostModel:
             + communicate / max(self.comm_threads, 1)
         )
 
+    def compute_time(self, work: NodeWork, threads: int) -> float:
+        """Compute-phase share of :meth:`node_time` — the part a
+        speculative buddy re-executes for a suspected node (messages
+        were already sent; only the sampling work is redone)."""
+        compute_threads = max(threads - self.comm_threads, 1)
+        compute = work.trials * self.trial_cost + (
+            work.pd_evaluations * self.pd_cost
+        )
+        return compute / compute_threads
+
     def superstep_time(
         self, per_node_work: list[NodeWork], per_node_threads: list[int]
     ) -> float:

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.cluster.cost_model import CostModel, NodeWork
 from repro.cluster.faults import DeliveryStats, FaultPlan, FaultPlane, NodeCrash
+from repro.cluster.health import HealthMonitor, HealthPolicy, HealthStats
 from repro.cluster.network import MessageKind, Network
 from repro.cluster.recovery import (
     ClusterCheckpoint,
@@ -54,7 +55,12 @@ from repro.cluster.recovery import (
     reassign_dead_vertices,
     restore_cluster_state,
 )
-from repro.cluster.scheduler import RetryPolicy, ThreadPolicy
+from repro.cluster.scheduler import (
+    RetryPolicy,
+    StragglerPolicy,
+    ThreadPolicy,
+    WalkerRebalancer,
+)
 from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine, WalkResult
 from repro.core.kernels import adaptive_trial_count, batch_multi_trial_round
@@ -95,6 +101,9 @@ class ClusterStats:
     # runs) and physical-layer delivery counters (None without a plan).
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
     delivery: DeliveryStats | None = None
+    # Straggler-tolerance accounting (None unless the health monitor
+    # is active — degraded fault plan or explicit StragglerPolicy).
+    health: HealthStats | None = None
 
     @property
     def num_supersteps(self) -> int:
@@ -120,6 +129,8 @@ class ClusterStats:
                 f"{self.delivery.duplicates} duplicates, "
                 f"{self.delivery.delays} delays)"
             )
+        if self.health is not None:
+            lines.extend(self.health.report_lines())
         recovery = self.recovery
         lines.append(
             f"recovery: {recovery.crashes} crashes, "
@@ -182,6 +193,16 @@ class DistributedWalkEngine(WalkEngine):
         how to treat a crash with ``restart=False``: re-partition the
         dead node's vertices across survivors and continue (True), or
         abort (False, the default).
+    straggler_policy:
+        degraded-node tolerance (speculative re-execution and walker
+        rebalancing).  ``None`` enables the default policy when the
+        fault plan degrades nodes or links, and disables the machinery
+        otherwise — healthy runs and pure crash/message-fault runs are
+        numerically unchanged.
+    health_policy:
+        failure-detector thresholds (see
+        :class:`~repro.cluster.health.HealthPolicy`); only meaningful
+        when the health monitor is active.
     """
 
     _accounts_lane_work = True
@@ -201,6 +222,8 @@ class DistributedWalkEngine(WalkEngine):
         retry_policy: RetryPolicy | None = None,
         checkpoint_every: int | None = None,
         degrade_on_crash: bool = False,
+        straggler_policy: StragglerPolicy | None = None,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         super().__init__(
             graph,
@@ -239,6 +262,24 @@ class DistributedWalkEngine(WalkEngine):
                 "crash recovery cannot rewind streamed paths; use "
                 "record_paths or disable path output under a crash plan"
             )
+        # Straggler tolerance engages when asked for explicitly, or
+        # automatically when the plan degrades nodes/links.  Healthy
+        # runs and pure crash/message-fault runs stay numerically
+        # identical to before this layer existed.
+        monitor_on = straggler_policy is not None or (
+            fault_plan is not None and fault_plan.has_degradations
+        )
+        self.straggler_policy = (
+            straggler_policy if straggler_policy is not None else StragglerPolicy()
+        )
+        self.health = (
+            HealthMonitor(num_nodes, health_policy) if monitor_on else None
+        )
+        self.rebalancer = (
+            WalkerRebalancer(num_nodes, self.cost_model, self.straggler_policy)
+            if monitor_on and self.straggler_policy.rebalance
+            else None
+        )
         self.cluster = ClusterStats(
             num_nodes=num_nodes,
             network=self.network,
@@ -246,6 +287,7 @@ class DistributedWalkEngine(WalkEngine):
             pd_evaluations_per_node=np.zeros(num_nodes, dtype=np.int64),
             walker_supersteps_per_node=np.zeros(num_nodes, dtype=np.int64),
             delivery=self.fault_plane.stats if self.fault_plane else None,
+            health=self.health.stats if self.health else None,
         )
         # Per-superstep, per-node work accumulators.
         self._node_trials = np.zeros(num_nodes, dtype=np.int64)
@@ -340,14 +382,20 @@ class DistributedWalkEngine(WalkEngine):
     # ------------------------------------------------------------------
     def _superstep(self) -> None:
         if self.fault_plane is not None:
+            self.fault_plane.begin_superstep(self._executed_supersteps)
             for crash in self.fault_plane.crashes_at(self._executed_supersteps):
                 self._handle_crash(crash)
-        active = self.walkers.active_ids()
-        self.stats.active_per_iteration.append(active.size)
-        self.stats.iterations += 1
         self._node_trials[:] = 0
         self._node_pd[:] = 0
         self._node_msgs[:] = 0
+        if self.rebalancer is not None:
+            # Act on last barrier's suspicion before this superstep's
+            # work is assigned: migrated walkers compute on their new
+            # homes immediately.
+            self._rebalance_walkers()
+        active = self.walkers.active_ids()
+        self.stats.active_per_iteration.append(active.size)
+        self.stats.iterations += 1
         active_per_node = np.bincount(
             self._owners(self.walkers.current[active]),
             minlength=self.num_nodes,
@@ -416,40 +464,69 @@ class DistributedWalkEngine(WalkEngine):
             np.add.at(self._node_pd, nodes, pd)
 
     def _close_superstep(self, active_per_node: np.ndarray) -> None:
-        """Charge the superstep to the cost model."""
+        """Charge the superstep to the cost model.
+
+        With the straggler layer active this also stretches degraded
+        nodes' times by their slowdown factors, speculatively
+        re-executes suspected nodes on healthy buddies (the barrier
+        waits for whichever copy finishes first), and feeds the raw
+        per-node times — the BSP heartbeat — to the health monitor.
+        """
         self.cluster.trials_per_node += self._node_trials
         self.cluster.pd_evaluations_per_node += self._node_pd
         self.cluster.walker_supersteps_per_node += active_per_node
         retry_latency = 0.0
+        factors = None
         if self.fault_plane is not None:
             # Physical-layer overhead: retransmission sends and dedup
             # discards are real message handling for their nodes, and
-            # the deepest retry chain stretches the barrier.
-            overhead, backoff_units = self.fault_plane.drain_superstep()
+            # the worst retry/absorbed-delay chain stretches the
+            # barrier.
+            overhead, latency_units = self.fault_plane.drain_superstep()
             self._node_msgs += overhead
-            retry_latency = self.cost_model.retry_latency(backoff_units)
+            retry_latency = self.cost_model.retry_latency(latency_units)
+            if self.fault_plan.has_slowdowns:
+                factors = self.fault_plane.node_factors()
+        node_ids = []
         works = []
         threads = []
+        times = []
         for node in range(self.num_nodes):
             if not self._alive_nodes[node]:
                 continue  # a degraded-away node pays nothing further
-            works.append(
-                NodeWork(
-                    trials=int(self._node_trials[node]),
-                    pd_evaluations=int(self._node_pd[node]),
-                    messages=int(self._node_msgs[node]),
-                    active_walkers=int(active_per_node[node]),
-                )
+            work = NodeWork(
+                trials=int(self._node_trials[node]),
+                pd_evaluations=int(self._node_pd[node]),
+                messages=int(self._node_msgs[node]),
+                active_walkers=int(active_per_node[node]),
             )
             node_threads = self.thread_policy.threads_for(
                 int(active_per_node[node])
             )
-            threads.append(node_threads)
             if node_threads < self.thread_policy.full_threads:
                 self.cluster.light_mode_node_supersteps += 1
-        self.cluster.superstep_times.append(
-            self.cost_model.superstep_time(works, threads) + retry_latency
-        )
+            node_time = self.cost_model.node_time(work, node_threads)
+            if factors is not None:
+                node_time *= float(factors[node])
+            node_ids.append(node)
+            works.append(work)
+            threads.append(node_threads)
+            times.append(node_time)
+        times = np.asarray(times, dtype=np.float64)
+        if self.health is not None:
+            # Heartbeats are the *raw* stretched times: suspicion must
+            # keep tracking a node's intrinsic slowness even while
+            # speculation masks it at the barrier.
+            heartbeat = np.zeros(self.num_nodes, dtype=np.float64)
+            heartbeat[node_ids] = times
+            effective = self._speculate(
+                node_ids, works, threads, times, active_per_node, factors
+            )
+            self.health.observe(heartbeat, self._alive_nodes)
+        else:
+            effective = times
+        barrier = float(effective.max()) if effective.size else 0.0
+        self.cluster.superstep_times.append(barrier + retry_latency)
         self._executed_supersteps += 1
         if (
             self.checkpoint_every is not None
@@ -516,6 +593,159 @@ class DistributedWalkEngine(WalkEngine):
         recovery.recovery_seconds += self.cost_model.restore_time(
             self.walkers.num_walkers
         )
+
+    # ------------------------------------------------------------------
+    # Straggler tolerance
+    # ------------------------------------------------------------------
+    def _speculate(
+        self,
+        node_ids: list[int],
+        works: list[NodeWork],
+        threads: list[int],
+        times: np.ndarray,
+        active_per_node: np.ndarray,
+        factors: np.ndarray | None,
+    ) -> np.ndarray:
+        """Speculative re-execution of suspected nodes' supersteps.
+
+        For each suspected node, the least-loaded healthy node also
+        runs a copy of its compute phase; the barrier waits for
+        whichever copy finishes first.  The losing copy's walker
+        migrations are re-sends of messages the winner also sent, so
+        they reconcile through the exactly-once dedup layer
+        (:meth:`FaultPlane.record_speculative_copies`) — conservation
+        accounting stays balanced.  Returns the effective per-node
+        times (aligned with ``node_ids``).
+        """
+        if not self.straggler_policy.speculate or not self.health.any_suspected:
+            return times
+        suspected = self.health.suspected
+        effective = times.copy()
+        order = np.argsort(times, kind="stable")
+        stats = self.health.stats
+        for position, node in enumerate(node_ids):
+            if not suspected[node] or active_per_node[node] == 0:
+                continue
+            buddy_position = next(
+                (
+                    int(p)
+                    for p in order
+                    if node_ids[int(p)] != node
+                    and not suspected[node_ids[int(p)]]
+                ),
+                None,
+            )
+            if buddy_position is None:
+                continue  # everyone is suspected; nobody to run the copy
+            stats.speculations += 1
+            copy_time = self.cost_model.compute_time(
+                works[position], threads[buddy_position]
+            )
+            if factors is not None:
+                copy_time *= float(factors[node_ids[buddy_position]])
+            buddy_total = times[buddy_position] + copy_time
+            if buddy_total < effective[position]:
+                stats.speculation_wins += 1
+                effective[position] = buddy_total
+                copies = int(active_per_node[node])
+                if self.fault_plane is not None and copies:
+                    self.fault_plane.record_speculative_copies(
+                        MessageKind.WALKER_MIGRATE, copies
+                    )
+                    stats.speculative_copies += copies
+        return effective
+
+    def _rebalance_walkers(self) -> None:
+        """Migrate queued walkers off suspected nodes, and restore the
+        homes of nodes whose suspicion cleared at the last barrier.
+
+        Re-homing goes through the same owner-lookup overlay
+        degraded-mode crash recovery uses, so `_owners` — and with it
+        work accounting and message endpoints — follows the migration
+        while the walk RNG stream is untouched: the walk itself stays
+        bit-identical to the healthy run.
+        """
+        monitor = self.health
+        for node in monitor.newly_cleared():
+            self._restore_rebalanced(node)
+        if not monitor.any_suspected:
+            return
+        active = self.walkers.active_ids()
+        if active.size == 0:
+            return
+        vertices = self.walkers.current[active]
+        owners = self._owners(vertices)
+        stats = monitor.stats
+        for node in np.flatnonzero(monitor.suspected & self._alive_nodes):
+            plan = self.rebalancer.plan(
+                int(node),
+                vertices,
+                owners,
+                monitor.ewma,
+                monitor.suspected,
+                self._alive_nodes,
+            )
+            if plan is None:
+                continue
+            moved_vertices, targets, moved_walkers = plan
+            sorter = np.argsort(moved_vertices, kind="stable")
+            moved_vertices = moved_vertices[sorter]
+            targets = targets[sorter]
+            self._ensure_owner_lookup()
+            self._owner_lookup[moved_vertices] = targets
+            self.rebalancer.record(int(node), moved_vertices)
+            # Each re-homed walker is one real migration message.
+            lane = np.searchsorted(moved_vertices, vertices)
+            on_moved = (lane < moved_vertices.size) & (
+                np.take(moved_vertices, lane, mode="clip") == vertices
+            )
+            walker_targets = targets[lane[on_moved]]
+            walker_sources = np.full(
+                walker_targets.size, int(node), dtype=np.int64
+            )
+            migrated = self.network.record_batch(
+                MessageKind.WALKER_MIGRATE, walker_sources, walker_targets
+            )
+            np.add.at(self._node_msgs, walker_sources, 1)
+            np.add.at(self._node_msgs, walker_targets, 1)
+            self.stats.messages_sent += migrated
+            stats.rebalances += 1
+            stats.migrated_walkers += moved_walkers
+            # Keep this superstep's view consistent for later suspects.
+            owners[on_moved] = walker_targets
+
+    def _restore_rebalanced(self, node: int) -> None:
+        """Move a recovered node's re-homed vertices back to it."""
+        moved_vertices = self.rebalancer.take_restorable(node)
+        if moved_vertices.size == 0 or not self._alive_nodes[node]:
+            return
+        current_owner = self._owner_lookup[moved_vertices]
+        active = self.walkers.active_ids()
+        if active.size:
+            vertices = self.walkers.current[active]
+            lane = np.searchsorted(moved_vertices, vertices)
+            on_moved = (lane < moved_vertices.size) & (
+                np.take(moved_vertices, lane, mode="clip") == vertices
+            )
+            walker_sources = current_owner[lane[on_moved]]
+            walker_targets = np.full(
+                walker_sources.size, int(node), dtype=np.int64
+            )
+            migrated = self.network.record_batch(
+                MessageKind.WALKER_MIGRATE, walker_sources, walker_targets
+            )
+            np.add.at(self._node_msgs, walker_sources, 1)
+            np.add.at(self._node_msgs, walker_targets, 1)
+            self.stats.messages_sent += migrated
+            self.health.stats.restored_walkers += int(walker_sources.size)
+        self._owner_lookup[moved_vertices] = node
+
+    def _ensure_owner_lookup(self) -> None:
+        """Materialise the owner overlay from the static partition."""
+        if self._owner_lookup is None:
+            self._owner_lookup = self.partition.owners(
+                np.arange(self.graph.num_vertices, dtype=np.int64)
+            ).astype(np.int64)
 
     # ------------------------------------------------------------------
     def _distributed_round(self, walker_ids: np.ndarray) -> np.ndarray:

@@ -174,6 +174,10 @@ def _cluster_payload(engine) -> dict:
         payload["cluster_owner_lookup"] = engine._owner_lookup
     if engine.fault_plane is not None:
         payload.update(engine.fault_plane.state_dict())
+    if engine.health is not None:
+        payload.update(engine.health.state_arrays())
+    if engine.rebalancer is not None:
+        payload.update(engine.rebalancer.state_arrays())
     return payload
 
 
@@ -336,6 +340,10 @@ def _restore_cluster(engine, data: dict, path) -> None:
         )
         if engine.fault_plane is not None and "fault_rng_state" in data:
             engine.fault_plane.load_state(data)
+        if engine.health is not None and "health_ewma" in data:
+            engine.health.load_arrays(data)
+        if engine.rebalancer is not None and "rebalance_nodes" in data:
+            engine.rebalancer.load_arrays(data)
     except KeyError as exc:
         raise SnapshotError(f"malformed checkpoint {path}: {exc}") from exc
 

@@ -143,6 +143,12 @@ class ServiceMetrics:
     degraded: int = 0
     deadline_hits: int = 0
     queue_depth_peak: int = 0
+    # Distributed requests (cluster-simulator executions) and their
+    # straggler-tolerance activity, aggregated across requests.
+    distributed_runs: int = 0
+    straggler_suspicions: int = 0
+    walkers_rebalanced: int = 0
+    speculative_wins: int = 0
     shed_reasons: dict[str, int] = field(default_factory=dict)
     latencies_seconds: list[float] = field(default_factory=list)
 
@@ -185,7 +191,7 @@ class ServiceMetrics:
             if self.shed_reasons
             else ""
         )
-        return (
+        report = (
             f"service: submitted={self.submitted} admitted={self.admitted} "
             f"served={self.served} shed={self.shed}{shed_detail} "
             f"failed={self.failed}\n"
@@ -195,3 +201,11 @@ class ServiceMetrics:
             f"service: latency p50={self.p50_latency * 1000.0:.2f}ms "
             f"p99={self.p99_latency * 1000.0:.2f}ms"
         )
+        if self.distributed_runs:
+            report += (
+                f"\nservice: distributed_runs={self.distributed_runs} "
+                f"straggler_suspicions={self.straggler_suspicions} "
+                f"walkers_rebalanced={self.walkers_rebalanced} "
+                f"speculative_wins={self.speculative_wins}"
+            )
+        return report

@@ -33,6 +33,7 @@ from repro.lint.rules_generic import (
     SetIterationRule,
 )
 from repro.lint.rules_process import NonModuleCallableRule, UnpicklablePayloadRule
+from repro.lint.rules_retry import FixedRetryBackoffRule
 from repro.lint.rules_rng import (
     LegacyNumpyRandomRule,
     StdlibRandomRule,
@@ -47,6 +48,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     UnseededGeneratorRule,
     LegacyNumpyRandomRule,
     WallClockRule,
+    FixedRetryBackoffRule,
     NonModuleCallableRule,
     UnpicklablePayloadRule,
     MutableDefaultRule,

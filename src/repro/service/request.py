@@ -54,6 +54,14 @@ class WalkRequest:
     *submission*, so queueing time spends the budget (the serving
     semantic: a caller waiting 50 ms for a 50 ms-deadline answer does
     not care which side of the queue the time went).
+
+    ``num_nodes > 1`` routes the request to the cluster simulator
+    (:class:`~repro.cluster.engine.DistributedWalkEngine`); an optional
+    ``fault_plan`` then runs it under injected faults with the full
+    tolerance stack — crash recovery, exactly-once delivery, and
+    straggler handling (health monitoring, speculation, rebalancing) —
+    so a degraded simulated cluster still resolves the ticket instead
+    of hanging the worker.  Mutually exclusive with ``num_shards``.
     """
 
     program: WalkerProgram
@@ -62,8 +70,19 @@ class WalkRequest:
     priority: int = 0
     deadline: Deadline | float | None = None
     num_shards: int = 1
+    num_nodes: int = 0
+    fault_plan: object | None = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes > 1 and self.num_shards > 1:
+            raise ServiceError(
+                "a request is either distributed (num_nodes) or sharded "
+                "(num_shards), not both"
+            )
+        if self.fault_plan is not None and self.num_nodes <= 1:
+            raise ServiceError("fault_plan requires num_nodes > 1")
 
 
 @dataclass

@@ -269,10 +269,40 @@ class WalkService:
                 num_workers=request.num_shards,
                 deadline=ticket.deadline,
             )
+        if request.num_nodes > 1:
+            return self._run_distributed(ticket, graph, request, config)
         engine = WalkEngine(graph, request.program, config)
         return engine.run(
             deadline=ticket.deadline, cancel=ticket.cancel_token
         )
+
+    def _run_distributed(self, ticket, graph, request, config: WalkConfig):
+        """Execute one request on the cluster simulator.
+
+        Crashes degrade onto the survivors rather than aborting, and
+        degraded nodes/links engage the straggler-tolerance stack, so a
+        fault plan slows the simulated run down but the ticket always
+        resolves; deadline/cancel still cut in at every BSP barrier.
+        """
+        from repro.cluster.engine import DistributedWalkEngine
+
+        engine = DistributedWalkEngine(
+            graph,
+            request.program,
+            config,
+            num_nodes=request.num_nodes,
+            fault_plan=request.fault_plan,
+            degrade_on_crash=True,
+        )
+        result = engine.run(deadline=ticket.deadline, cancel=ticket.cancel_token)
+        with self._lock:
+            self.metrics.distributed_runs += 1
+            health = engine.cluster.health
+            if health is not None:
+                self.metrics.straggler_suspicions += health.suspect_events
+                self.metrics.walkers_rebalanced += health.migrated_walkers
+                self.metrics.speculative_wins += health.speculation_wins
+        return result
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection

@@ -1,0 +1,37 @@
+# lint-fixture-path: src/repro/cluster/retry_ok.py
+"""RK204 negatives: jittered waits, adaptive timers, one-shot sleeps."""
+
+import time
+
+import numpy as np
+
+
+def retry_with_rng_jitter(send, base, seed):
+    rng = np.random.default_rng(seed)
+    attempt = 0
+    while not send():
+        attempt += 1
+        time.sleep(base * 2 ** attempt * (1.0 + 0.25 * rng.random()))
+    return attempt
+
+
+def retry_with_adaptive_timer(send, timers, src, dst):
+    attempt = 0
+    while not send():
+        attempt += 1
+        time.sleep(timers.backoff_wait(src, dst, attempt, salt=0))
+    return attempt
+
+
+def retry_with_precomputed_jitter(send, base, jitter_unit):
+    attempt = 0
+    while not send():
+        attempt += 1
+        time.sleep(base * 2 ** attempt * (1.0 + jitter_unit))
+    return attempt
+
+
+def one_shot_pause(warmup_seconds):
+    # Not a retry loop: a single settle-down pause is fine.
+    time.sleep(warmup_seconds)
+    return True

@@ -1,0 +1,32 @@
+# lint-fixture-path: src/repro/cluster/retry.py
+"""RK204 positives: fixed/unjittered retry sleeps in a cluster module."""
+
+import asyncio
+import time
+
+
+def retry_fixed(send):
+    for _ in range(5):
+        if send():
+            return True
+        time.sleep(0.1)  # expect: RK204
+    return False
+
+
+def retry_exponential_no_jitter(send, base):
+    attempt = 0
+    while not send():
+        attempt += 1
+        time.sleep(base * 2 ** attempt)  # expect: RK204
+    return attempt
+
+
+def retry_capped_no_jitter(send, delay):
+    while not send():
+        time.sleep(min(delay, 30.0))  # expect: RK204
+        delay *= 2.0
+
+
+async def retry_async_fixed(send):
+    while not await send():
+        await asyncio.sleep(1.0)  # expect: RK204

@@ -9,7 +9,9 @@ algorithm families; the accounting tests reconcile every injected fault
 against the retransmission and dedup counters exactly.
 
 The CI chaos job re-runs this file under several ``REPRO_CHAOS_SEED``
-values to widen the sampled plan space.
+values to widen the sampled plan space, and under several
+``REPRO_CHAOS_PROFILE`` values (``message`` / ``straggler`` /
+``flaky-link``) to vary which fault family dominates the random plans.
 """
 
 import os
@@ -21,10 +23,14 @@ from repro.algorithms import MetaPathWalk, Node2Vec, PPR, random_schemes
 from repro.cluster import (
     DistributedWalkEngine,
     FaultPlan,
+    FlakyLink,
     MessageFaults,
     MessageKind,
     NodeCrash,
+    NodeSlowdown,
     RetryPolicy,
+    StragglerPolicy,
+    random_degraded_plan,
     random_fault_plan,
 )
 from repro.core.config import WalkConfig
@@ -47,6 +53,26 @@ CHAOS_SEEDS = (
     if os.environ.get("REPRO_CHAOS_SEED")
     else [1, 2]
 )
+
+# ... and under different fault-family profiles.
+CHAOS_PROFILE = os.environ.get("REPRO_CHAOS_PROFILE", "message")
+
+
+def _chaos_plan(seed):
+    """The equivalence sweep's plan generator, keyed by CI profile."""
+    base = random_fault_plan(seed, NUM_NODES)
+    if CHAOS_PROFILE == "message":
+        return base
+    if CHAOS_PROFILE == "straggler":
+        return random_degraded_plan(
+            seed, NUM_NODES, max_flaky_links=0, base=base
+        )
+    if CHAOS_PROFILE == "flaky-link":
+        return random_degraded_plan(
+            seed, NUM_NODES, max_slowdowns=1, max_factor=3.0,
+            max_flaky_links=2, base=base,
+        )
+    raise AssertionError(f"unknown REPRO_CHAOS_PROFILE {CHAOS_PROFILE!r}")
 
 
 @pytest.fixture(scope="module")
@@ -99,7 +125,7 @@ class TestChaosEquivalence:
         make_program, walk_graph, config = _program_setup(
             algorithm, graph, seed=40 + chaos_seed
         )
-        plan = random_fault_plan(chaos_seed, NUM_NODES)
+        plan = _chaos_plan(chaos_seed)
         clean = _run(walk_graph, make_program, config)
         faulty = _run(
             walk_graph, make_program, config,
@@ -292,6 +318,174 @@ class TestFailureModes:
             NodeCrash(superstep=-1, node=0)
         with pytest.raises(ClusterError):
             RetryPolicy(max_attempts=0)
+
+
+def _degraded_plan(seed=23):
+    """A ramping straggler plus a flaky high-RTT link."""
+    return FaultPlan(
+        seed=seed,
+        slowdowns=(
+            NodeSlowdown(node=1, factor=5.0, start_superstep=2,
+                         ramp_supersteps=4),
+        ),
+        flaky_links=(
+            FlakyLink(a=0, b=2, faults=MessageFaults(drop=0.2, delay=0.25),
+                      rtt_factor=4.0),
+        ),
+    )
+
+
+class TestStragglerTolerance:
+    """Degraded nodes and links: detected, tolerated, walk unchanged."""
+
+    def test_degraded_run_completes_bit_identical_and_detected(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=21
+        )
+        clean = _run(walk_graph, make_program, config)
+        degraded = _run(
+            walk_graph, make_program, config, fault_plan=_degraded_plan()
+        )
+
+        # Completes with the bit-identical walk: the tolerance stack
+        # (health, speculation, rebalancing) never touches the walk RNG.
+        assert degraded.walkers.num_active == 0
+        for a, b in zip(clean.paths, degraded.paths):
+            np.testing.assert_array_equal(a, b)
+        degraded.cluster.delivery.check_conservation()
+
+        # The failure detector flagged the straggler — and only it.
+        health = degraded.cluster.health
+        assert health is not None
+        assert health.suspect_events >= 1
+        assert health.suspected_supersteps > 0
+        assert degraded.cluster.simulated_seconds > clean.cluster.simulated_seconds
+        report = degraded.cluster.report()
+        for needle in ("health:", "suspicions", "peak phi"):
+            assert needle in report
+        # A clean run carries no health section at all.
+        assert clean.cluster.health is None
+        assert "health:" not in clean.cluster.report()
+
+    def test_tolerance_beats_naive_straggling(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=22
+        )
+        naive = _run(
+            walk_graph, make_program, config, fault_plan=_degraded_plan(),
+            straggler_policy=StragglerPolicy(speculate=False, rebalance=False),
+        )
+        tolerant = _run(
+            walk_graph, make_program, config, fault_plan=_degraded_plan(),
+            # 120 walkers over 4 nodes leave ~30 on the suspect, so
+            # lower the migration floor to let rebalancing engage.
+            straggler_policy=StragglerPolicy(min_walkers=8),
+        )
+        # Same walk either way...
+        for a, b in zip(naive.paths, tolerant.paths):
+            np.testing.assert_array_equal(a, b)
+        # ...but speculation + rebalancing claw back simulated time.
+        assert (
+            tolerant.cluster.simulated_seconds
+            < naive.cluster.simulated_seconds
+        )
+        health = tolerant.cluster.health
+        assert health.speculation_wins > 0
+        assert health.migrated_walkers > 0
+        # Speculative copies reconcile through the dedup layer, so the
+        # conservation laws still balance on both runs.
+        naive.cluster.delivery.check_conservation()
+        tolerant.cluster.delivery.check_conservation()
+
+    def test_adaptive_timers_absorb_flaky_link_delays(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=23
+        )
+        plan = FaultPlan(
+            seed=5,
+            flaky_links=(
+                FlakyLink(a=0, b=2, faults=MessageFaults(delay=0.4),
+                          rtt_factor=1.0),
+            ),
+        )
+        result = _run(walk_graph, make_program, config, fault_plan=plan)
+        delivery = result.cluster.delivery
+        delivery.check_conservation()
+        # Early delays beat the initial timeout and cost spurious
+        # retransmissions; once the link's timers learn its latency
+        # tail, delayed packets are absorbed — so across the run most
+        # delays never provoked a retransmission.
+        assert delivery.delays > 0
+        assert delivery.retransmissions < delivery.delays
+
+    def test_replay_of_degraded_run_is_deterministic(self, graph):
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=24
+        )
+        first = _run(
+            walk_graph, make_program, config, fault_plan=_degraded_plan()
+        )
+        second = _run(
+            walk_graph, make_program, config, fault_plan=_degraded_plan()
+        )
+        assert (
+            first.cluster.simulated_seconds
+            == second.cluster.simulated_seconds
+        )
+        assert (
+            first.cluster.delivery.retransmissions
+            == second.cluster.delivery.retransmissions
+        )
+        health_a, health_b = first.cluster.health, second.cluster.health
+        assert health_a.suspect_events == health_b.suspect_events
+        assert health_a.migrated_walkers == health_b.migrated_walkers
+        assert health_a.phi_max == health_b.phi_max
+
+    def test_sanitizer_certifies_degraded_replay(self, graph):
+        from repro.lint.sanitizer import run_sanitized
+
+        make_program, walk_graph, config = _program_setup(
+            "node2vec", graph, seed=25
+        )
+
+        def factory():
+            return DistributedWalkEngine(
+                walk_graph, make_program(), config, num_nodes=NUM_NODES,
+                fault_plan=_degraded_plan(),
+            )
+
+        report = run_sanitized(factory, runs=2)
+        assert report.deterministic
+
+    @pytest.mark.parametrize("algorithm", ["node2vec", "metapath", "ppr"])
+    @pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+    def test_combined_chaos_schedule_property(
+        self, graph, algorithm, chaos_seed
+    ):
+        """Property: under a randomized crash + drop + duplicate +
+        delay + slowdown + flaky-link schedule, the run completes, the
+        exactly-once accounting balances, and the walk is unchanged."""
+        make_program, walk_graph, config = _program_setup(
+            algorithm, graph, seed=60 + chaos_seed
+        )
+        plan = random_degraded_plan(
+            chaos_seed,
+            NUM_NODES,
+            base=random_fault_plan(chaos_seed, NUM_NODES),
+        )
+        clean = _run(walk_graph, make_program, config)
+        chaotic = _run(
+            walk_graph, make_program, config,
+            fault_plan=plan, checkpoint_every=4,
+        )
+        assert chaotic.walkers.num_active == 0
+        for a, b in zip(clean.paths, chaotic.paths):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            clean.walk_lengths, chaotic.walk_lengths
+        )
+        chaotic.cluster.delivery.check_conservation()
+        assert chaotic.cluster.health is not None
 
 
 class TestGracefulDegradation:

@@ -102,6 +102,7 @@ class TestFixtures:
             "rng_clean",
             "simtime_clean_outside",
             "simtime_clean_allowlisted",
+            "retry_clean",
             "process_clean",
             "generic_clean",
         } <= set(clean)
