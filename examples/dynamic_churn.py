@@ -1,0 +1,109 @@
+"""Walking a graph that changes under you: follow/unfollow churn.
+
+A recommendation service keeps a social graph hot while users follow
+and unfollow each other all day.  This example shows the dynamic-graph
+contract end to end:
+
+* **epoch-snapshot isolation** — every walk pins the epoch that was
+  current when it started; commits racing with it are invisible until
+  the next walk;
+* **WAL-backed durability** — every committed batch is in the
+  write-ahead log before it is visible, so a crash (simulated here as
+  a torn append) recovers exactly to the last committed epoch;
+* **incremental sampler maintenance** — alias tables are patched per
+  touched vertex each epoch, with self-verification probes
+  cross-checking against a full rebuild.
+
+Run with:  python examples/dynamic_churn.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import WalkConfig, WalkEngine
+from repro.algorithms import PPR
+from repro.graph import twitter_like
+from repro.graph.dynamic import DynamicGraph, generate_churn_batches
+from repro.graph.wal import _InjectedCrash
+
+
+def top_visited(result, count=5):
+    """The walk's most-visited vertices — the 'recommendations'."""
+    visits = {}
+    for path in result.paths:
+        for vertex in path[1:]:
+            visits[int(vertex)] = visits.get(int(vertex), 0) + 1
+    ranked = sorted(visits.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:count]
+
+
+def main():
+    graph = twitter_like(0.02, seed=11)  # ~300-vertex stand-in
+    config = WalkConfig(
+        num_walkers=300, max_steps=25, termination_probability=0.15,
+        record_paths=True, seed=42,
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        wal_path = Path(scratch) / "social.wal"
+        dynamic = DynamicGraph(
+            graph, wal_path=wal_path, verify="sample", seed=42
+        )
+
+        # --- day 0: recommendations on the initial graph -----------
+        result = WalkEngine(dynamic, PPR(), config).run()
+        print(f"epoch {result.stats.graph_epoch}: "
+              f"top accounts {top_visited(result)}")
+
+        # --- churn: three epochs of follows/unfollows ---------------
+        for batch in generate_churn_batches(
+            graph, num_epochs=3, updates_per_epoch=120, seed=7
+        ):
+            dynamic.commit(batch)
+        stats = dynamic.stats
+        print(f"committed {stats.epochs_committed} epochs "
+              f"({stats.inserts_applied} follows, "
+              f"{stats.deletes_applied} unfollows, "
+              f"{stats.reweights_applied} reweights)")
+
+        result = WalkEngine(dynamic, PPR(), config).run()
+        print(f"epoch {result.stats.graph_epoch}: "
+              f"top accounts {top_visited(result)}")
+        maintenance = result.stats.maintenance
+        print(f"sampler upkeep: {maintenance.vertices_rebuilt} vertex "
+              f"slices rebuilt, {maintenance.vertices_copied} copied, "
+              f"{maintenance.verify_checks} verification probes, "
+              f"{maintenance.verify_mismatches} mismatches")
+
+        # --- crash mid-append, then recover from the WAL ------------
+        doomed = generate_churn_batches(
+            dynamic.snapshot().graph, num_epochs=1,
+            updates_per_epoch=50, seed=13,
+        )[0]
+        dynamic.wal.inject_crash_after_bytes = 5
+        try:
+            dynamic.commit(doomed)
+        except _InjectedCrash:
+            print("crash injected mid-append: epoch 4 torn off the log")
+        dynamic.close()
+
+        recovered = DynamicGraph.recover(graph, wal_path, seed=42)
+        report = recovered.stats.recovery
+        print(f"recovered to epoch {recovered.epoch} "
+              f"({report.records_replayed} records replayed, "
+              f"{report.bytes_truncated} torn bytes truncated, "
+              f"conservation {'balanced' if report.balanced() else 'VIOLATED'})")
+
+        rerun = WalkEngine(recovered, PPR(), config).run()
+        identical = all(
+            len(a) == len(b) and (a == b).all()
+            for a, b in zip(result.paths, rerun.paths)
+        )
+        print("post-recovery walk is "
+              + ("bit-identical to the pre-crash walk"
+                 if identical else "DIFFERENT (bug!)"))
+        recovered.close()
+
+
+if __name__ == "__main__":
+    main()

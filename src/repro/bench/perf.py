@@ -43,6 +43,9 @@ from pathlib import Path
 from repro.bench.workloads import paper_algorithms, prepare_graph
 from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
+from repro.graph.builder import assign_random_weights
+from repro.graph.dynamic import DynamicGraph, generate_churn_batches
+from repro.graph.generators import erdos_renyi_graph
 
 __all__ = [
     "PerfWorkload",
@@ -124,6 +127,46 @@ def _time_engine(
     return best
 
 
+def _time_updates(quick: bool, seed: int, repeats: int) -> dict:
+    """Update-apply throughput of the dynamic-graph commit path.
+
+    Commits a churn stream (insert/delete/reweight) into a
+    :class:`~repro.graph.dynamic.DynamicGraph` and times commit +
+    snapshot materialization — the cost an online serving deployment
+    pays per epoch.  Reported as a top-level section so the walk-rate
+    entries under ``workloads`` keep their shape.
+    """
+    num_vertices = 2_000 if quick else 20_000
+    updates_per_epoch = 1_000 if quick else 5_000
+    num_epochs = 4
+    base = assign_random_weights(
+        erdos_renyi_graph(num_vertices, 8.0, seed=7), seed=8
+    )
+    batches = generate_churn_batches(
+        base, num_epochs=num_epochs,
+        updates_per_epoch=updates_per_epoch, seed=seed,
+    )
+    applied = sum(len(batch) for batch in batches)
+    best_rate, best_seconds = 0.0, 0.0
+    for _ in range(repeats):
+        dynamic = DynamicGraph(base)
+        start = time.perf_counter()
+        for batch in batches:
+            dynamic.commit(batch)
+            dynamic.snapshot()
+        seconds = time.perf_counter() - start
+        rate = applied / seconds if seconds > 0 else 0.0
+        if rate > best_rate:
+            best_rate, best_seconds = rate, seconds
+    return {
+        "graph": f"erdos-renyi |V|={num_vertices}, mean degree 8",
+        "num_epochs": num_epochs,
+        "updates_applied": applied,
+        "seconds": round(best_seconds, 6),
+        "edges_per_sec": round(best_rate, 1),
+    }
+
+
 def run_perf(
     quick: bool = False, repeats: int = 3, seed: int = 11
 ) -> dict:
@@ -198,6 +241,7 @@ def run_perf(
                 fused["steps_per_sec"] / PRE_PR_NODE2VEC_STEPS_PER_SEC, 3
             )
         report["workloads"][workload.name] = entry
+    report["update_throughput"] = _time_updates(quick, seed, repeats)
     return report
 
 
@@ -241,6 +285,13 @@ def format_report(report: dict) -> str:
         f"{'auto':>12s} {'single-trial':>12s} {'fused dx':>9s} "
         f"{'trials/step':>12s} {'pd/step':>9s}"
     ]
+    updates = report.get("update_throughput")
+    if updates:
+        lines.append(
+            f"updates    {updates['edges_per_sec']:>12,.0f} edges/sec "
+            f"({updates['updates_applied']:,} updates over "
+            f"{updates['num_epochs']} epochs, {updates['graph']})"
+        )
     for name, entry in report["workloads"].items():
         speedup = entry.get("fused_speedup_vs_single_trial")
         lines.append(

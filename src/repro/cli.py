@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -111,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="stream the walk corpus to this file (constant memory)",
     )
+    _add_update_arguments(walk)
     _add_fault_arguments(walk)
 
     bench = subparsers.add_parser("bench", help="regenerate a paper experiment")
@@ -195,8 +197,31 @@ def build_parser() -> argparse.ArgumentParser:
         "each (instead of re-running one engine) and require their "
         "event streams to fold to the same hash",
     )
+    _add_update_arguments(sanitize)
     _add_fault_arguments(sanitize)
     return parser
+
+
+def _add_update_arguments(parser: argparse.ArgumentParser) -> None:
+    """Dynamic-graph update-stream flags (walk and sanitize)."""
+    updates = parser.add_argument_group(
+        "dynamic graph",
+        "apply an edge-update stream in epochs before/around the walk",
+    )
+    updates.add_argument(
+        "--updates", type=str, default=None,
+        help="update-stream file: insert/delete/reweight lines split "
+        "into epochs by 'commit' lines",
+    )
+    updates.add_argument(
+        "--wal", type=str, default=None,
+        help="persist committed batches to this write-ahead log",
+    )
+    updates.add_argument(
+        "--verify-tables", choices=("off", "sample", "full"), default="off",
+        help="self-verify incremental sampler maintenance per epoch "
+        "(mismatches are counted and fall back to a full rebuild)",
+    )
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -371,9 +396,35 @@ def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     )
 
 
+def _apply_update_stream(graph, args: argparse.Namespace):
+    """Commit the ``--updates`` stream; returns the DynamicGraph."""
+    from repro.graph.dynamic import DynamicGraph, parse_update_stream
+
+    batches = parse_update_stream(args.updates)
+    dynamic = DynamicGraph(
+        graph,
+        wal_path=args.wal,
+        verify=args.verify_tables,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    for batch in batches:
+        dynamic.commit(batch)
+    elapsed = time.perf_counter() - started
+    total = sum(len(batch) for batch in batches)
+    rate = total / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"updates: {total} edges across {len(batches)} epochs "
+        f"({rate:,.0f} edges/s), now at epoch {dynamic.epoch}"
+    )
+    return dynamic
+
+
 def _run_walk(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     program, graph = _build_program(args, graph)
+    if args.updates is not None:
+        graph = _apply_update_stream(graph, args)
     termination = args.termination
     if args.algorithm == "ppr" and termination == 0.0:
         termination = 1.0 / 80.0
@@ -406,6 +457,10 @@ def _run_walk(args: argparse.Namespace) -> int:
         result = WalkEngine(graph, program, config).run()
         print(f"stats: {result.stats.summary()}")
     print(f"termination: {result.stats.termination}")
+    if result.stats.graph_epoch is not None:
+        print(f"graph epoch: {result.stats.graph_epoch}")
+        if result.stats.maintenance is not None:
+            print(result.stats.maintenance.summary())
 
     if args.output is not None:
         print(f"corpus streamed to {args.output}")
@@ -558,11 +613,22 @@ def _run_sanitize(args: argparse.Namespace) -> int:
             "injected fault schedule"
         )
 
-    def make_factory(config: WalkConfig):
+    def make_factory(config: WalkConfig, epoch: int | None = None):
         def factory():
+            target = graph
+            if epoch is not None:
+                # Rebuild the dynamic graph from scratch and replay the
+                # update stream to this epoch — every traced run is a
+                # full replay, so agreement certifies that replay is
+                # bit-identical, not merely that one engine is.
+                from repro.graph.dynamic import DynamicGraph
+
+                target = DynamicGraph(graph, seed=args.seed)
+                for batch in update_batches[:epoch]:
+                    target.commit(batch)
             if args.nodes > 0:
                 return DistributedWalkEngine(
-                    graph,
+                    target,
                     program,
                     config,
                     num_nodes=args.nodes,
@@ -570,9 +636,28 @@ def _run_sanitize(args: argparse.Namespace) -> int:
                     checkpoint_every=args.checkpoint_every,
                     degrade_on_crash=args.degrade,
                 )
-            return WalkEngine(graph, program, config)
+            return WalkEngine(target, program, config)
 
         return factory
+
+    if args.updates is not None:
+        from repro.graph.dynamic import parse_update_stream
+
+        update_batches = parse_update_stream(args.updates)
+        print(
+            f"update stream: {len(update_batches)} epochs; certifying "
+            f"bit-identical replay of the walk at every epoch"
+        )
+        certified = True
+        for epoch in range(1, len(update_batches) + 1):
+            report = run_sanitized(
+                make_factory(make_config("step"), epoch=epoch),
+                runs=args.runs,
+            )
+            verdict = "certified" if report.deterministic else "DIVERGED"
+            print(f"epoch {epoch}: {verdict} ({report.events[0]} events)")
+            certified = certified and report.deterministic
+        return 0 if certified else 1
 
     if args.compare_engines:
         # One traced run per engine mode: the staged Gather/Move/Update

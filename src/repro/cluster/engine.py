@@ -233,7 +233,11 @@ class DistributedWalkEngine(WalkEngine):
             validate_bounds=validate_bounds,
             fuse_trials=fuse_trials,
         )
-        self.partition: ContiguousPartition = partition_graph(graph, num_nodes)
+        # self.graph, not the raw argument: the base class may have
+        # unwrapped a DynamicGraph/EpochSnapshot into its epoch's CSR.
+        self.partition: ContiguousPartition = partition_graph(
+            self.graph, num_nodes
+        )
         self.num_nodes = num_nodes
         self.thread_policy = (
             thread_policy if thread_policy is not None else ThreadPolicy()

@@ -50,6 +50,7 @@ from repro.core.trace import PathRecorder, StreamingPathRecorder
 from repro.core.walker import WalkerSet
 from repro.errors import ProgramError
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, EpochSnapshot
 from repro.sampling.alias import VertexAliasTables
 from repro.sampling.its import VertexITSTables
 from repro.sampling.rejection import RejectionSampler
@@ -142,6 +143,18 @@ class WalkEngine:
     ) -> None:
         config = config if config is not None else WalkConfig()
         program.validate()
+        # Dynamic graphs: the walk pins the current epoch's immutable
+        # snapshot — later commits to the DynamicGraph can never move
+        # arrays under a running engine (epoch-snapshot isolation).
+        snapshot = None
+        if isinstance(graph, DynamicGraph):
+            snapshot = graph.snapshot()
+        elif isinstance(graph, EpochSnapshot):
+            snapshot = graph
+        if snapshot is not None:
+            graph = snapshot.graph
+        self.snapshot = snapshot
+        self.graph_epoch = None if snapshot is None else snapshot.epoch
         self.graph = graph
         self.program = program
         self.config = config
@@ -151,22 +164,31 @@ class WalkEngine:
 
         init_start = time.perf_counter()
         static = program.edge_static_comp(graph)
-        if config.static_sampler == "alias":
+        if snapshot is not None and static is None:
+            # Incrementally maintained tables (only touched vertices
+            # were rebuilt this epoch); bit-identical to a fresh build.
+            self.tables = snapshot.tables(config.static_sampler)
+        elif config.static_sampler == "alias":
             self.tables = VertexAliasTables(graph, static)
         else:
             self.tables = VertexITSTables(graph, static)
         self._scalar_sampler = RejectionSampler(self.tables)
 
         if program.dynamic:
-            self.upper = np.asarray(
-                program.upper_bound_array(graph), dtype=np.float64
-            )
-            if use_lower_bound:
-                self.lower = np.asarray(
-                    program.lower_bound_array(graph), dtype=np.float64
+            if snapshot is not None:
+                self.upper, self.lower = snapshot.bounds_for(
+                    program, use_lower_bound
                 )
             else:
-                self.lower = np.zeros(graph.num_vertices, dtype=np.float64)
+                self.upper = np.asarray(
+                    program.upper_bound_array(graph), dtype=np.float64
+                )
+                if use_lower_bound:
+                    self.lower = np.asarray(
+                        program.lower_bound_array(graph), dtype=np.float64
+                    )
+                else:
+                    self.lower = np.zeros(graph.num_vertices, dtype=np.float64)
         else:
             # Static walk: Pd is identically 1, so the tight envelope
             # and lower bound coincide and every dart pre-accepts.
@@ -227,6 +249,11 @@ class WalkEngine:
         self._stepper = (
             StepExecutor(self) if self.engine_mode == "step" else None
         )
+        self.stats.graph_epoch = self.graph_epoch
+        if snapshot is not None:
+            # Live reference: the owning DynamicGraph keeps accumulating
+            # verification/fallback counters into the same object.
+            self.stats.maintenance = snapshot.maintenance
         self.stats.init_time_seconds = time.perf_counter() - init_start
 
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
 import zipfile
 import zlib
 
@@ -45,10 +46,11 @@ from repro.core.config import WalkConfig
 from repro.core.engine import WalkEngine
 from repro.core.trace import PathRecorder
 from repro.core.program import WalkerProgram
-from repro.errors import SnapshotError
+from repro.errors import SnapshotCorruptError, SnapshotError
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, EpochSnapshot
 
-__all__ = ["save_checkpoint", "restore_checkpoint"]
+__all__ = ["save_checkpoint", "restore_checkpoint", "checkpoint_epoch"]
 
 FORMAT_VERSION = 2
 
@@ -98,6 +100,11 @@ def _base_payload(engine: WalkEngine) -> dict:
             engine.stats.active_per_iteration, dtype=np.int64
         ),
     }
+
+    if engine.graph_epoch is not None:
+        # Dynamic-graph run: record the pinned epoch, so restore can
+        # demand the same one (replayed from the write-ahead log).
+        payload["graph_epoch"] = np.asarray([engine.graph_epoch], dtype=np.int64)
 
     if walkers.history is not None:
         payload["history"] = walkers.history
@@ -212,8 +219,19 @@ def _verify_and_load(path: str | os.PathLike) -> dict:
     try:
         with np.load(path, allow_pickle=False) as data:
             arrays = {key: data[key] for key in data.files}
-    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
-        raise SnapshotError(f"unreadable checkpoint {path}: {exc}") from exc
+    except (
+        OSError,
+        ValueError,
+        EOFError,
+        zipfile.BadZipFile,
+        zlib.error,
+        struct.error,
+    ) as exc:
+        if isinstance(exc, OSError) and not os.path.exists(path):
+            raise SnapshotError(f"unreadable checkpoint {path}: {exc}") from exc
+        raise SnapshotCorruptError(
+            f"unreadable checkpoint {path}: {exc}"
+        ) from exc
     if "version" not in arrays or "checksum" not in arrays:
         raise SnapshotError(f"malformed checkpoint {path}: missing header")
     version = int(arrays["version"][0])
@@ -224,10 +242,24 @@ def _verify_and_load(path: str | os.PathLike) -> dict:
     stored = int(arrays["checksum"][0])
     recorded = {k: v for k, v in arrays.items() if k != "checksum"}
     if _payload_checksum(recorded) != stored:
-        raise SnapshotError(
+        raise SnapshotCorruptError(
             f"corrupt checkpoint {path}: payload checksum mismatch"
         )
     return arrays
+
+
+def checkpoint_epoch(path: str | os.PathLike) -> int | None:
+    """The dynamic-graph epoch a checkpoint was taken at (None if the
+    run used a plain static graph).
+
+    Recovery flow for dynamic graphs: read this first, rebuild the
+    graph state with ``DynamicGraph.recover(base, wal, replay_to=e)``,
+    then :func:`restore_checkpoint` against that instance.
+    """
+    data = _verify_and_load(path)
+    if "graph_epoch" not in data:
+        return None
+    return int(data["graph_epoch"][0])
 
 
 def _restore_base(engine: WalkEngine, data: dict, path) -> None:
@@ -367,6 +399,21 @@ def restore_checkpoint(
     its recorded RNG stream, triggered-crash set, and delivery counters.
     """
     data = _verify_and_load(path)
+    if "graph_epoch" in data:
+        wanted = int(data["graph_epoch"][0])
+        actual = (
+            graph.epoch
+            if isinstance(graph, (DynamicGraph, EpochSnapshot))
+            else None
+        )
+        if actual != wanted:
+            raise SnapshotError(
+                f"checkpoint was taken at graph epoch {wanted}, but the "
+                f"supplied graph is at "
+                f"{'a static graph' if actual is None else f'epoch {actual}'}; "
+                f"rebuild it with DynamicGraph.recover(base, wal, "
+                f"replay_to={wanted})"
+            )
     if "cluster_num_nodes" in data:
         from repro.cluster.engine import DistributedWalkEngine
 

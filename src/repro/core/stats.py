@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.selector import SamplerDecisionStats
+from repro.sampling.incremental import MaintenanceStats
 from repro.sampling.rejection import SamplingCounters
 
 __all__ = ["WalkStats", "TerminationBreakdown", "ServiceMetrics"]
@@ -74,6 +75,11 @@ class WalkStats:
     messages_sent: int = 0
     wall_time_seconds: float = 0.0
     init_time_seconds: float = 0.0
+    # Dynamic-graph runs: the snapshot epoch the walk pinned, and the
+    # owning DynamicGraph's incremental sampler-maintenance counters
+    # (verification probes, mismatches, full-rebuild fallbacks).
+    graph_epoch: int | None = None
+    maintenance: MaintenanceStats | None = None
 
     @property
     def pd_evaluations_per_step(self) -> float:
@@ -149,6 +155,9 @@ class ServiceMetrics:
     straggler_suspicions: int = 0
     walkers_rebalanced: int = 0
     speculative_wins: int = 0
+    # Dynamic-graph update stream committed through apply_updates.
+    updates_applied: int = 0
+    epochs_committed: int = 0
     shed_reasons: dict[str, int] = field(default_factory=dict)
     latencies_seconds: list[float] = field(default_factory=list)
 
@@ -207,5 +216,10 @@ class ServiceMetrics:
                 f"straggler_suspicions={self.straggler_suspicions} "
                 f"walkers_rebalanced={self.walkers_rebalanced} "
                 f"speculative_wins={self.speculative_wins}"
+            )
+        if self.epochs_committed:
+            report += (
+                f"\nservice: updates_applied={self.updates_applied} "
+                f"epochs_committed={self.epochs_committed}"
             )
         return report

@@ -43,6 +43,23 @@ class SnapshotError(ReproError):
     not match the engine being restored."""
 
 
+class SnapshotCorruptError(SnapshotError):
+    """Raised when a snapshot file exists and parses far enough to be
+    recognised but its content fails integrity verification — a payload
+    checksum mismatch, or member data whose decompression/decoding
+    fails (bit rot, torn writes).  Distinguished from plain
+    :class:`SnapshotError` so callers can tell "this file is damaged,
+    restore from another copy" apart from "you handed me the wrong
+    file/version"."""
+
+
+class WalError(GraphError):
+    """Raised for unusable write-ahead logs: a bad magic header or a
+    record stream whose epochs are out of order.  A *torn tail* (the
+    expected result of a crash mid-append) is NOT an error — recovery
+    truncates it and reports it in the recovery stats."""
+
+
 class ServiceError(ReproError):
     """Base class for failures of the overload-robust serving layer
     (:mod:`repro.service`): admission, execution, and supervision

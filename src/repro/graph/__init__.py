@@ -15,6 +15,15 @@ from repro.graph.builder import (
     from_edges,
 )
 from repro.graph.csr import CSRGraph, DegreeStats
+from repro.graph.dynamic import (
+    DynamicGraph,
+    DynamicGraphStats,
+    EdgeUpdate,
+    EpochSnapshot,
+    UpdateBatch,
+    generate_churn_batches,
+    parse_update_stream,
+)
 from repro.graph.datasets import (
     DATASETS,
     friendster_like,
@@ -51,8 +60,18 @@ from repro.graph.transform import (
     reverse_graph,
 )
 from repro.graph.traversal import BFSResult, bfs
+from repro.graph.wal import WalRecoveryReport, WriteAheadLog
 
 __all__ = [
+    "DynamicGraph",
+    "DynamicGraphStats",
+    "EdgeUpdate",
+    "EpochSnapshot",
+    "UpdateBatch",
+    "WalRecoveryReport",
+    "WriteAheadLog",
+    "generate_churn_batches",
+    "parse_update_stream",
     "CSRGraph",
     "DegreeStats",
     "GraphBuilder",

@@ -1,0 +1,1048 @@
+"""Dynamic graphs: epoch-snapshot isolation over the immutable CSR.
+
+KnightKing's engines assume a static :class:`~repro.graph.csr.CSRGraph`
+whose arrays never move under a running walk.  This module keeps that
+invariant while supporting live edge streams, by separating *mutation*
+from *visibility*:
+
+* a :class:`DynamicGraph` wraps a base CSR with a per-vertex **delta
+  buffer** (copy-on-write adjacency overlays);
+* :meth:`DynamicGraph.commit` applies one
+  :class:`UpdateBatch` (insert / delete / reweight) and advances a
+  monotonically numbered **epoch**;
+* :meth:`DynamicGraph.snapshot` materialises the current epoch into an
+  immutable :class:`EpochSnapshot` — a real ``CSRGraph`` plus
+  incrementally maintained sampler state — that running walks pin and
+  later commits can never perturb (snapshot isolation by
+  immutability);
+* :meth:`DynamicGraph.compact` folds the delta buffer back into the
+  base CSR, bounding overlay growth.
+
+Durability comes from a write-ahead log
+(:class:`~repro.graph.wal.WriteAheadLog`): every batch is logged and
+flushed *before* it is applied, so :meth:`DynamicGraph.recover` lands
+exactly on the last committed epoch after a crash — a torn tail (the
+partial record of the batch being written when the process died) is
+truncated and reported, never replayed.  A durably compacted base
+(:meth:`DynamicGraph.save_compacted`) carries its epoch id, and
+recovery skips WAL records the base already folded in, which makes the
+base-write and log-truncate steps individually crash-safe without
+needing cross-file atomicity.
+
+Sampler maintenance is incremental and **self-verifying**: per epoch,
+only touched vertices' alias / ITS / Q(v) entries are rebuilt (see
+:mod:`repro.sampling.incremental` for why that is bit-exact), and an
+optional verification mode re-derives sampled vertices from scratch,
+counts any mismatch, and falls back to a full rebuild — the tables a
+walk sees are never silently wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError, WalError
+from repro.graph.csr import CSRGraph
+from repro.graph.wal import WalRecoveryReport, WriteAheadLog
+from repro.sampling.incremental import (
+    MaintenanceStats,
+    default_static_weights,
+    incremental_alias_tables,
+    incremental_its_tables,
+    slice_gather_map,
+    verify_alias_tables,
+    verify_its_tables,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "DynamicGraphStats",
+    "EdgeUpdate",
+    "EpochSnapshot",
+    "UpdateBatch",
+    "generate_churn_batches",
+    "parse_update_stream",
+]
+
+INSERT, DELETE, REWEIGHT = 0, 1, 2
+_KIND_NAMES = {INSERT: "insert", DELETE: "delete", REWEIGHT: "reweight"}
+_KIND_CODES = {name: code for code, name in _KIND_NAMES.items()}
+
+_BATCH_HEADER = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One logical edge mutation.
+
+    ``kind`` is ``"insert"``, ``"delete"``, or ``"reweight"``; on
+    undirected graphs the mutation applies to both stored directions,
+    matching :class:`~repro.graph.builder.GraphBuilder` semantics.
+    """
+
+    kind: str
+    source: int
+    target: int
+    weight: float = 1.0
+    edge_type: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_CODES:
+            raise GraphError(f"unknown update kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A batch of edge updates committed as one epoch.
+
+    Stored as parallel arrays so batches serialize to the write-ahead
+    log and apply without per-edge Python objects.
+    """
+
+    kinds: np.ndarray
+    sources: np.ndarray
+    targets: np.ndarray
+    weights: np.ndarray
+    edge_types: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.kinds.size)
+
+    @classmethod
+    def from_updates(cls, updates: list[EdgeUpdate] | tuple) -> "UpdateBatch":
+        updates = list(updates)
+        return cls(
+            kinds=np.asarray(
+                [_KIND_CODES[u.kind] for u in updates], dtype=np.uint8
+            ),
+            sources=np.asarray([u.source for u in updates], dtype=np.int64),
+            targets=np.asarray([u.target for u in updates], dtype=np.int64),
+            weights=np.asarray([u.weight for u in updates], dtype=np.float64),
+            edge_types=np.asarray(
+                [u.edge_type for u in updates], dtype=np.int32
+            ),
+        )
+
+    def updates(self) -> list[EdgeUpdate]:
+        return [
+            EdgeUpdate(
+                kind=_KIND_NAMES[int(self.kinds[i])],
+                source=int(self.sources[i]),
+                target=int(self.targets[i]),
+                weight=float(self.weights[i]),
+                edge_type=int(self.edge_types[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            [
+                _BATCH_HEADER.pack(len(self)),
+                np.ascontiguousarray(self.kinds).tobytes(),
+                np.ascontiguousarray(self.sources).tobytes(),
+                np.ascontiguousarray(self.targets).tobytes(),
+                np.ascontiguousarray(self.weights).tobytes(),
+                np.ascontiguousarray(self.edge_types).tobytes(),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "UpdateBatch":
+        if len(blob) < _BATCH_HEADER.size:
+            raise WalError("truncated update-batch payload")
+        (count,) = _BATCH_HEADER.unpack_from(blob)
+        sizes = [count, count * 8, count * 8, count * 8, count * 4]
+        if len(blob) != _BATCH_HEADER.size + sum(sizes):
+            raise WalError("update-batch payload has the wrong length")
+        cursor = _BATCH_HEADER.size
+        parts = []
+        for size, dtype in zip(
+            sizes, (np.uint8, np.int64, np.int64, np.float64, np.int32)
+        ):
+            parts.append(
+                np.frombuffer(blob, dtype=dtype, count=count, offset=cursor)
+            )
+            cursor += size
+        return cls(*parts)
+
+
+@dataclass
+class DynamicGraphStats:
+    """Accounting of one dynamic graph's lifetime.
+
+    The conservation law the chaos tests pin: every update submitted
+    through a committed batch is applied exactly once —
+    ``updates_submitted == inserts_applied + deletes_applied +
+    reweights_applied`` (counting logical updates; the undirected
+    mirror is bookkeeping, not a second update).
+    """
+
+    epochs_committed: int = 0
+    updates_submitted: int = 0
+    inserts_applied: int = 0
+    deletes_applied: int = 0
+    reweights_applied: int = 0
+    compactions: int = 0
+    wal_records_written: int = 0
+    wal_bytes_written: int = 0
+    recovery: WalRecoveryReport | None = None
+
+    def conservation_balanced(self) -> bool:
+        return self.updates_submitted == (
+            self.inserts_applied
+            + self.deletes_applied
+            + self.reweights_applied
+        )
+
+
+class EpochSnapshot:
+    """An immutable view of one committed epoch.
+
+    ``graph`` is a real read-only :class:`CSRGraph` — every engine runs
+    on it unchanged — and the snapshot lazily carries the epoch's
+    sampler state (incrementally maintained by the owning
+    :class:`DynamicGraph`).  Snapshots stay valid after further
+    commits: later epochs build new arrays, they never mutate old ones.
+    """
+
+    def __init__(
+        self,
+        owner: "DynamicGraph",
+        epoch: int,
+        graph: CSRGraph,
+        touched: np.ndarray,
+    ) -> None:
+        self._owner = owner
+        self.epoch = epoch
+        self.graph = graph
+        #: vertices whose adjacency changed relative to the previous epoch
+        self.touched = touched
+        self._tables: dict[str, object] = {}
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def maintenance(self) -> MaintenanceStats:
+        """The owner's cumulative incremental-maintenance counters."""
+        return self._owner.maintenance
+
+    def tables(self, kind: str):
+        """This epoch's sampler tables (``"alias"`` or ``"its"``)."""
+        if kind not in self._tables:
+            self._tables[kind] = self._owner._tables_for(self, kind)
+        return self._tables[kind]
+
+    def bounds_for(
+        self, program, use_lower_bound: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Incrementally maintained Q(v) / L(v) arrays for ``program``."""
+        return self._owner._bounds_for(self, program, use_lower_bound)
+
+
+class _Adjacency:
+    """Mutable copy of one vertex's edge slice (the delta buffer unit)."""
+
+    __slots__ = ("targets", "weights", "edge_types")
+
+    def __init__(
+        self,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        edge_types: np.ndarray,
+    ) -> None:
+        self.targets = targets
+        self.weights = weights
+        self.edge_types = edge_types
+
+    def copy(self) -> "_Adjacency":
+        return _Adjacency(
+            self.targets.copy(), self.weights.copy(), self.edge_types.copy()
+        )
+
+
+class DynamicGraph:
+    """A CSR graph accepting committed update batches in epochs.
+
+    Parameters
+    ----------
+    base:
+        the starting graph (epoch ``base_epoch``, normally 0).
+    wal_path:
+        when given, every committed batch is appended (and flushed) to
+        a write-ahead log at this path *before* being applied.
+    verify:
+        self-verification of incremental sampler maintenance:
+        ``"off"`` (default), ``"sample"`` (probe ``verify_samples``
+        touched vertices plus a couple of untouched ones per table
+        build), or ``"full"`` (probe every vertex).  A failed probe is
+        counted and triggers a from-scratch rebuild.
+    verify_samples, seed:
+        probe count and the deterministic seed the probes derive from.
+    compact_every:
+        auto-compact after this many commits (0 = manual only).
+    retain_epochs:
+        how many recent :class:`EpochSnapshot` objects to keep
+        addressable through :meth:`snapshot_at`.
+    """
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        wal_path: str | os.PathLike | None = None,
+        verify: str = "off",
+        verify_samples: int = 8,
+        seed: int = 0,
+        compact_every: int = 0,
+        retain_epochs: int = 8,
+        base_epoch: int = 0,
+    ) -> None:
+        if verify not in ("off", "sample", "full"):
+            raise GraphError(f"unknown verify mode {verify!r}")
+        self._base = base
+        self._base_epoch = int(base_epoch)
+        self._epoch = int(base_epoch)
+        self._overlay: dict[int, _Adjacency] = {}
+        self._touched_by_epoch: dict[int, np.ndarray] = {}
+        self._snapshots: dict[int, EpochSnapshot] = {}
+        self._table_cache: dict[str, tuple[int, object]] = {}
+        self._bounds_cache: dict[str, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._weighted = base.weights is not None
+        self._typed = base.edge_types is not None
+        self._verify = verify
+        self._verify_samples = int(verify_samples)
+        self._seed = int(seed)
+        self._compact_every = int(compact_every)
+        self._commits_since_compaction = 0
+        self._retain_epochs = max(1, int(retain_epochs))
+        self.stats = DynamicGraphStats()
+        self.maintenance = MaintenanceStats()
+        self._wal = (
+            WriteAheadLog.create(str(wal_path)) if wal_path is not None else None
+        )
+        # Test-only hooks: corrupt one incrementally maintained entry
+        # (to exercise the verification fallback) / crash between the
+        # two steps of a durable compaction.
+        self._test_corrupt_incremental = False
+        self._test_crash_in_compaction = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(epoch={self._epoch}, "
+            f"|V|={self._base.num_vertices}, "
+            f"delta_vertices={len(self._overlay)}, "
+            f"wal={'on' if self._wal is not None else 'off'})"
+        )
+
+    @property
+    def epoch(self) -> int:
+        """The last committed epoch (the one snapshots pin)."""
+        return self._epoch
+
+    @property
+    def base(self) -> CSRGraph:
+        return self._base
+
+    @property
+    def num_vertices(self) -> int:
+        return self._base.num_vertices
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        return self._wal
+
+    def delta_vertices(self) -> int:
+        """Vertices currently held in the delta buffer."""
+        return len(self._overlay)
+
+    # ------------------------------------------------------------------
+    # Committing updates
+    # ------------------------------------------------------------------
+    def commit(self, updates: UpdateBatch | list[EdgeUpdate]) -> int:
+        """Apply one batch as the next epoch; returns the new epoch id.
+
+        The batch is validated and fully staged first, then logged to
+        the WAL (write-ahead: a batch is either durably logged and
+        applied, or rejected untouched), then installed.  A staging
+        error — e.g. deleting an edge that does not exist — leaves the
+        graph and the log exactly as they were.
+        """
+        batch = (
+            updates
+            if isinstance(updates, UpdateBatch)
+            else UpdateBatch.from_updates(updates)
+        )
+        staged, counts = self._stage_batch(batch)
+        if self._wal is not None:
+            self._wal.append(self._epoch + 1, batch.to_bytes())
+            self.stats.wal_records_written = self._wal.records_written
+            self.stats.wal_bytes_written = self._wal.bytes_written
+        self._install(batch, staged, counts)
+        if (
+            self._compact_every > 0
+            and self._commits_since_compaction >= self._compact_every
+        ):
+            self.compact()
+        return self._epoch
+
+    def _install(
+        self,
+        batch: UpdateBatch,
+        staged: dict[int, _Adjacency],
+        counts: tuple[int, int, int],
+    ) -> None:
+        self._overlay.update(staged)
+        self._epoch += 1
+        self._commits_since_compaction += 1
+        touched = np.asarray(sorted(staged), dtype=np.int64)
+        self._touched_by_epoch[self._epoch] = touched
+        inserts, deletes, reweights = counts
+        self.stats.epochs_committed += 1
+        self.stats.updates_submitted += len(batch)
+        self.stats.inserts_applied += inserts
+        self.stats.deletes_applied += deletes
+        self.stats.reweights_applied += reweights
+
+    def _stage_batch(
+        self, batch: UpdateBatch
+    ) -> tuple[dict[int, _Adjacency], tuple[int, int, int]]:
+        """Apply ``batch`` to copies of the touched adjacencies.
+
+        Pure with respect to ``self``: nothing is installed, so any
+        validation error aborts the commit with no side effects.
+        """
+        staged: dict[int, _Adjacency] = {}
+        counts = [0, 0, 0]
+        mirror = self._base.is_undirected
+        num_vertices = self._base.num_vertices
+        for i in range(len(batch)):
+            kind = int(batch.kinds[i])
+            source = int(batch.sources[i])
+            target = int(batch.targets[i])
+            weight = float(batch.weights[i])
+            edge_type = int(batch.edge_types[i])
+            for vertex in (source, target):
+                if not 0 <= vertex < num_vertices:
+                    raise GraphError(
+                        f"update endpoint {vertex} out of range "
+                        f"[0, {num_vertices})"
+                    )
+            if kind != DELETE and (weight < 0 or not np.isfinite(weight)):
+                raise GraphError(
+                    f"update weight must be finite and non-negative, "
+                    f"got {weight!r}"
+                )
+            self._stage_one(staged, kind, source, target, weight, edge_type)
+            if mirror:
+                self._stage_one(staged, kind, target, source, weight, edge_type)
+            counts[kind] += 1
+        return staged, tuple(counts)
+
+    def _stage_one(
+        self,
+        staged: dict[int, _Adjacency],
+        kind: int,
+        source: int,
+        target: int,
+        weight: float,
+        edge_type: int,
+    ) -> None:
+        adj = staged.get(source)
+        if adj is None:
+            existing = self._overlay.get(source)
+            adj = existing.copy() if existing is not None else self._slice(source)
+            staged[source] = adj
+        if kind == INSERT:
+            # After any existing edges to the same target: matches the
+            # stable (source, target) lexsort of GraphBuilder, where
+            # newly added parallel edges follow previously added ones.
+            position = int(np.searchsorted(adj.targets, target, side="right"))
+            adj.targets = np.insert(adj.targets, position, target)
+            adj.weights = np.insert(adj.weights, position, weight)
+            adj.edge_types = np.insert(adj.edge_types, position, edge_type)
+            if weight != 1.0:
+                self._weighted = True
+            if edge_type != 0:
+                self._typed = True
+            return
+        position = int(np.searchsorted(adj.targets, target, side="left"))
+        if position >= adj.targets.size or adj.targets[position] != target:
+            verb = _KIND_NAMES[kind]
+            raise GraphError(
+                f"{verb} of missing edge {source}->{target} "
+                f"(epoch {self._epoch})"
+            )
+        if kind == DELETE:
+            adj.targets = np.delete(adj.targets, position)
+            adj.weights = np.delete(adj.weights, position)
+            adj.edge_types = np.delete(adj.edge_types, position)
+        else:  # REWEIGHT
+            adj.weights[position] = weight
+            self._weighted = True
+
+    def _slice(self, vertex: int) -> _Adjacency:
+        start, end = self._base.edge_range(vertex)
+        targets = self._base.targets[start:end].copy()
+        weights = (
+            self._base.weights[start:end].copy()
+            if self._base.weights is not None
+            else np.ones(end - start, dtype=np.float64)
+        )
+        edge_types = (
+            self._base.edge_types[start:end].copy()
+            if self._base.edge_types is not None
+            else np.zeros(end - start, dtype=np.int32)
+        )
+        return _Adjacency(targets, weights, edge_types)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EpochSnapshot:
+        """The current epoch as an immutable view (cached per epoch)."""
+        cached = self._snapshots.get(self._epoch)
+        if cached is not None:
+            return cached
+        graph = self._materialize()
+        touched = self._touched_by_epoch.get(
+            self._epoch, np.zeros(0, dtype=np.int64)
+        )
+        snap = EpochSnapshot(self, self._epoch, graph, touched)
+        self._snapshots[self._epoch] = snap
+        while len(self._snapshots) > self._retain_epochs:
+            del self._snapshots[min(self._snapshots)]
+        return snap
+
+    def snapshot_at(self, epoch: int) -> EpochSnapshot:
+        """A retained snapshot by epoch id.
+
+        Only epochs still in the retention window are addressable in
+        memory; older ones must be reconstructed by
+        :meth:`recover`\\ ``(..., replay_to=epoch)`` from the WAL.
+        """
+        if epoch == self._epoch:
+            return self.snapshot()
+        snap = self._snapshots.get(epoch)
+        if snap is None:
+            raise GraphError(
+                f"epoch {epoch} is not retained (current {self._epoch}); "
+                "recover from the write-ahead log with replay_to"
+            )
+        return snap
+
+    def _materialize(self) -> CSRGraph:
+        base = self._base
+        if not self._overlay:
+            return base
+        degrees = np.diff(base.offsets).copy()
+        for vertex, adj in self._overlay.items():
+            degrees[vertex] = adj.targets.size
+        offsets = np.zeros(base.num_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        num_edges = int(offsets[-1])
+
+        targets = np.empty(num_edges, dtype=np.int64)
+        weights = np.empty(num_edges, dtype=np.float64) if self._weighted else None
+        edge_types = np.empty(num_edges, dtype=np.int32) if self._typed else None
+
+        overlay_vertices = np.asarray(sorted(self._overlay), dtype=np.int64)
+        mask = np.ones(base.num_vertices, dtype=bool)
+        mask[overlay_vertices] = False
+        untouched = np.nonzero(mask)[0]
+        src, dst = slice_gather_map(base.offsets, offsets, untouched)
+        targets[dst] = base.targets[src]
+        if weights is not None:
+            weights[dst] = (
+                base.weights[src] if base.weights is not None else 1.0
+            )
+        if edge_types is not None:
+            edge_types[dst] = (
+                base.edge_types[src] if base.edge_types is not None else 0
+            )
+        for vertex in overlay_vertices:
+            adj = self._overlay[int(vertex)]
+            start = offsets[vertex]
+            end = start + adj.targets.size
+            targets[start:end] = adj.targets
+            if weights is not None:
+                weights[start:end] = adj.weights
+            if edge_types is not None:
+                edge_types[start:end] = adj.edge_types
+        return CSRGraph(
+            offsets=offsets,
+            targets=targets,
+            weights=weights,
+            edge_types=edge_types,
+            vertex_types=base.vertex_types,
+            undirected=base.is_undirected,
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Fold the delta buffer into the base CSR (in memory).
+
+        The current epoch's materialised graph *becomes* the base;
+        retained snapshots stay valid (their arrays are unshared).
+        Durability is unchanged — the WAL still holds every record
+        since the last durable base — so a crash mid-compaction simply
+        recovers by replaying onto the old base.
+        """
+        snap = self.snapshot()
+        self._base = snap.graph
+        self._base_epoch = self._epoch
+        self._overlay.clear()
+        self._commits_since_compaction = 0
+        self.stats.compactions += 1
+
+    def save_compacted(
+        self,
+        base_path: str | os.PathLike,
+        truncate_wal: bool = True,
+    ) -> None:
+        """Durable compaction: persist the base, then drop folded WAL
+        records.
+
+        Two independently atomic steps (write-then-rename for each
+        file), ordered so every crash point recovers to the last
+        committed epoch: records carry epoch ids and the base carries
+        its fold epoch, so replaying a stale log over a newer base
+        skips the already-folded prefix instead of double-applying it.
+        """
+        from repro.graph.io import save_binary
+
+        self.compact()
+        # np.savez appends ".npz" to foreign suffixes; keep it last so
+        # the sidecar lands where the rename expects it.
+        tmp = str(base_path) + ".tmp.npz"
+        save_binary(self._base, tmp, epoch=self._base_epoch)
+        os.replace(tmp, str(base_path))
+        if self._test_crash_in_compaction:
+            from repro.graph.wal import _InjectedCrash
+
+            raise _InjectedCrash("injected crash between base write and "
+                                 "WAL truncation")
+        if truncate_wal and self._wal is not None:
+            self._wal.rewrite([])
+            self.stats.wal_records_written = self._wal.records_written
+            self.stats.wal_bytes_written = self._wal.bytes_written
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        base: CSRGraph,
+        wal_path: str | os.PathLike,
+        replay_to: int | None = None,
+        base_epoch: int = 0,
+        **kwargs,
+    ) -> "DynamicGraph":
+        """Rebuild from ``base`` plus the write-ahead log.
+
+        Torn tails are truncated and reported
+        (``stats.recovery``); records with epochs the base already
+        folded in (``<= base_epoch``) are skipped.  ``replay_to`` stops
+        at a specific epoch — the checkpoint-restore path — in which
+        case the WAL is left untouched and detached (the instance is a
+        read-only view of history; committing to it would fork the
+        log).  A full replay reattaches the log for further appends.
+        """
+        log, records, report = WriteAheadLog.open(str(wal_path))
+        dynamic = cls(base, base_epoch=base_epoch, **kwargs)
+        report.records_replayed = 0
+        partial = False
+        for epoch, payload in records:
+            if epoch <= base_epoch:
+                report.records_skipped += 1
+                continue
+            if replay_to is not None and epoch > replay_to:
+                partial = True
+                break
+            if epoch != dynamic._epoch + 1:
+                log.close()
+                raise WalError(
+                    f"{wal_path}: epoch gap in log (expected "
+                    f"{dynamic._epoch + 1}, found {epoch})"
+                )
+            batch = UpdateBatch.from_bytes(payload)
+            staged, counts = dynamic._stage_batch(batch)
+            dynamic._install(batch, staged, counts)
+            report.records_replayed += 1
+        if partial:
+            log.close()
+        else:
+            dynamic._wal = log
+            dynamic.stats.wal_records_written = log.records_written
+            dynamic.stats.wal_bytes_written = log.bytes_written
+        report.last_epoch = dynamic._epoch
+        dynamic.stats.recovery = report
+        return dynamic
+
+    @classmethod
+    def load_compacted(
+        cls,
+        base_path: str | os.PathLike,
+        wal_path: str | os.PathLike,
+        **kwargs,
+    ) -> "DynamicGraph":
+        """Recover from a durably compacted base plus its WAL."""
+        from repro.graph.io import load_binary
+
+        base, epoch = load_binary(base_path, with_epoch=True)
+        return cls.recover(
+            base, wal_path, base_epoch=0 if epoch is None else epoch, **kwargs
+        )
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    # ------------------------------------------------------------------
+    # Incremental sampler maintenance
+    # ------------------------------------------------------------------
+    def _touched_between(self, old: int, new: int) -> np.ndarray | None:
+        """Union of touched vertices over epochs ``(old, new]``.
+
+        ``None`` when any epoch in the range is no longer tracked
+        (recovered instances only track replayed epochs) — the caller
+        must fall back to a full rebuild.
+        """
+        parts = []
+        for epoch in range(old + 1, new + 1):
+            touched = self._touched_by_epoch.get(epoch)
+            if touched is None:
+                return None
+            parts.append(touched)
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def _tables_for(self, snap: EpochSnapshot, kind: str):
+        from repro.sampling.alias import VertexAliasTables
+        from repro.sampling.its import VertexITSTables
+
+        if kind not in ("alias", "its"):
+            raise GraphError(f"unknown sampler-table kind {kind!r}")
+        build_full = VertexAliasTables if kind == "alias" else VertexITSTables
+        build_incremental = (
+            incremental_alias_tables if kind == "alias" else incremental_its_tables
+        )
+        verify = verify_alias_tables if kind == "alias" else verify_its_tables
+
+        static = default_static_weights(snap.graph)
+        cached = self._table_cache.get(kind)
+        touched = (
+            self._touched_between(cached[0], snap.epoch)
+            if cached is not None and cached[0] < snap.epoch
+            else None
+        )
+        if cached is not None and cached[0] == snap.epoch:
+            return cached[1]
+        if touched is None:
+            tables = build_full(snap.graph)
+            self.maintenance.full_rebuilds += 1
+        else:
+            tables = build_incremental(cached[1], snap.graph, static, touched)
+            self.maintenance.epochs_maintained += 1
+            self.maintenance.vertices_rebuilt += int(touched.size)
+            self.maintenance.vertices_copied += (
+                snap.graph.num_vertices - int(touched.size)
+            )
+            if self._test_corrupt_incremental and touched.size:
+                self._corrupt_one_entry(tables, kind, int(touched[0]))
+            if self._verify != "off":
+                probes = self._probe_vertices(snap, touched)
+                self.maintenance.verify_checks += int(probes.size)
+                bad = verify(tables, probes)
+                if bad:
+                    self.maintenance.verify_mismatches += len(bad)
+                    self.maintenance.verify_fallbacks += 1
+                    self.maintenance.full_rebuilds += 1
+                    tables = build_full(snap.graph)
+        self._table_cache[kind] = (snap.epoch, tables)
+        return tables
+
+    def _probe_vertices(
+        self, snap: EpochSnapshot, touched: np.ndarray
+    ) -> np.ndarray:
+        if self._verify == "full":
+            return np.arange(snap.graph.num_vertices, dtype=np.int64)
+        from repro.sampling.rng import derive_rng
+
+        rng = derive_rng(self._seed, snap.epoch)
+        picks = []
+        if touched.size:
+            count = min(self._verify_samples, int(touched.size))
+            picks.append(rng.choice(touched, size=count, replace=False))
+        mask = np.ones(snap.graph.num_vertices, dtype=bool)
+        mask[touched] = False
+        untouched = np.nonzero(mask)[0]
+        if untouched.size:
+            count = min(2, int(untouched.size))
+            picks.append(rng.choice(untouched, size=count, replace=False))
+        if not picks:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(picks))
+
+    @staticmethod
+    def _corrupt_one_entry(tables, kind: str, vertex: int) -> None:
+        start, end = tables.graph.edge_range(vertex)
+        if start == end:
+            tables._totals[vertex] = tables._totals[vertex] + 1.0
+        elif kind == "alias":
+            tables._prob[start] = tables._prob[start] * 0.5 + 0.25
+        else:
+            tables._cdf[start] = tables._cdf[start] + 0.125
+
+    # ------------------------------------------------------------------
+    # Incremental Q(v) / L(v) maintenance
+    # ------------------------------------------------------------------
+    def _bounds_for(
+        self, snap: EpochSnapshot, program, use_lower_bound: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from repro.core.program import WalkerProgram
+
+        overrides_arrays = (
+            type(program).upper_bound_array is not WalkerProgram.upper_bound_array
+            or type(program).lower_bound_array
+            is not WalkerProgram.lower_bound_array
+        )
+        if overrides_arrays:
+            # The program computes its arrays wholesale (usually a
+            # constant fill); per-vertex maintenance could diverge from
+            # a global formula, so just call the override — it is the
+            # from-scratch semantics by definition.
+            upper = np.asarray(
+                program.upper_bound_array(snap.graph), dtype=np.float64
+            )
+            lower = (
+                np.asarray(program.lower_bound_array(snap.graph), np.float64)
+                if use_lower_bound
+                else np.zeros(snap.graph.num_vertices, dtype=np.float64)
+            )
+            return upper, lower
+
+        key = self._program_signature(program, use_lower_bound)
+        cached = self._bounds_cache.get(key)
+        touched = (
+            self._touched_between(cached[0], snap.epoch)
+            if cached is not None and cached[0] < snap.epoch
+            else None
+        )
+        if cached is not None and cached[0] == snap.epoch:
+            return cached[1], cached[2]
+        if touched is None:
+            upper = np.asarray(
+                program.upper_bound_array(snap.graph), dtype=np.float64
+            )
+            lower = (
+                np.asarray(program.lower_bound_array(snap.graph), np.float64)
+                if use_lower_bound
+                else np.zeros(snap.graph.num_vertices, dtype=np.float64)
+            )
+            self.maintenance.full_rebuilds += 1
+        else:
+            upper = cached[1].copy()
+            lower = cached[2].copy()
+            for vertex in touched:
+                vertex = int(vertex)
+                upper[vertex] = program.dynamic_upper_bound(snap.graph, vertex)
+                if use_lower_bound:
+                    lower[vertex] = program.dynamic_lower_bound(
+                        snap.graph, vertex
+                    )
+            self.maintenance.vertices_rebuilt += int(touched.size)
+            if self._verify != "off":
+                probes = self._probe_vertices(snap, touched)
+                self.maintenance.verify_checks += int(probes.size)
+                bad = [
+                    int(v)
+                    for v in probes
+                    if upper[int(v)]
+                    != program.dynamic_upper_bound(snap.graph, int(v))
+                    or (
+                        use_lower_bound
+                        and lower[int(v)]
+                        != program.dynamic_lower_bound(snap.graph, int(v))
+                    )
+                ]
+                if bad:
+                    self.maintenance.verify_mismatches += len(bad)
+                    self.maintenance.verify_fallbacks += 1
+                    self.maintenance.full_rebuilds += 1
+                    upper = np.asarray(
+                        program.upper_bound_array(snap.graph), dtype=np.float64
+                    )
+                    lower = (
+                        np.asarray(
+                            program.lower_bound_array(snap.graph), np.float64
+                        )
+                        if use_lower_bound
+                        else np.zeros(snap.graph.num_vertices, np.float64)
+                    )
+        self._bounds_cache[key] = (snap.epoch, upper, lower)
+        return upper, lower
+
+    @staticmethod
+    def _program_signature(program, use_lower_bound: bool) -> str:
+        scalars = {
+            name: value
+            for name, value in sorted(vars(program).items())
+            if isinstance(value, (bool, int, float, str))
+        }
+        return (
+            f"{type(program).__module__}.{type(program).__qualname__}"
+            f"|{scalars!r}|lower={use_lower_bound}"
+        )
+
+
+def parse_update_stream(source) -> list[UpdateBatch]:
+    """Parse a textual update stream into per-epoch batches.
+
+    ``source`` is a path or an iterable of lines.  Directives, one per
+    line (``#`` comments and blanks ignored)::
+
+        insert SRC DST [WEIGHT] [TYPE]
+        delete SRC DST
+        reweight SRC DST WEIGHT
+        commit
+
+    ``commit`` closes the current batch (one epoch); trailing updates
+    without a final ``commit`` form a last batch.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="ascii") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    batches: list[UpdateBatch] = []
+    pending: list[EdgeUpdate] = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        verb = fields[0].lower()
+        try:
+            if verb == "commit":
+                if len(fields) != 1:
+                    raise GraphError("commit takes no arguments")
+                batches.append(UpdateBatch.from_updates(pending))
+                pending = []
+            elif verb == "insert":
+                if not 3 <= len(fields) <= 5:
+                    raise GraphError("insert takes 2-4 arguments")
+                pending.append(
+                    EdgeUpdate(
+                        "insert",
+                        int(fields[1]),
+                        int(fields[2]),
+                        float(fields[3]) if len(fields) > 3 else 1.0,
+                        int(fields[4]) if len(fields) > 4 else 0,
+                    )
+                )
+            elif verb == "delete":
+                if len(fields) != 3:
+                    raise GraphError("delete takes 2 arguments")
+                pending.append(
+                    EdgeUpdate("delete", int(fields[1]), int(fields[2]))
+                )
+            elif verb == "reweight":
+                if len(fields) != 4:
+                    raise GraphError("reweight takes 3 arguments")
+                pending.append(
+                    EdgeUpdate(
+                        "reweight",
+                        int(fields[1]),
+                        int(fields[2]),
+                        float(fields[3]),
+                    )
+                )
+            else:
+                raise GraphError(f"unknown directive {verb!r}")
+        except (ValueError, GraphError) as exc:
+            raise GraphError(
+                f"update stream line {number}: {line!r}: {exc}"
+            ) from exc
+    if pending:
+        batches.append(UpdateBatch.from_updates(pending))
+    return batches
+
+
+def generate_churn_batches(
+    graph: CSRGraph,
+    num_epochs: int,
+    updates_per_epoch: int,
+    seed: int,
+    weight_low: float = 1.0,
+    weight_high: float = 5.0,
+) -> list[UpdateBatch]:
+    """Synthetic follow/unfollow churn against ``graph``.
+
+    Each epoch mixes inserts of fresh edges (follows), deletes of
+    edges known to exist (unfollows), and reweights — all derived from
+    a seeded RNG, so the same ``(graph, seed)`` yields the same stream
+    on every run.  On undirected graphs updates use the canonical
+    ``min->max`` orientation (the commit path mirrors them).
+    """
+    rng = np.random.default_rng(seed)
+    num_vertices = graph.num_vertices
+    # Track the evolving logical edge set (canonical orientation for
+    # undirected graphs) so deletes always hit and inserts never
+    # create unintended parallel edges.
+    sources = np.repeat(
+        np.arange(num_vertices, dtype=np.int64), graph.out_degrees()
+    )
+    if graph.is_undirected:
+        pairs = set(
+            zip(
+                np.minimum(sources, graph.targets).tolist(),
+                np.maximum(sources, graph.targets).tolist(),
+            )
+        )
+    else:
+        pairs = set(zip(sources.tolist(), graph.targets.tolist()))
+    batches: list[UpdateBatch] = []
+    for _ in range(num_epochs):
+        updates: list[EdgeUpdate] = []
+        for _ in range(updates_per_epoch):
+            action = rng.random()
+            if action < 0.4 or not pairs:
+                for _ in range(32):
+                    u = int(rng.integers(num_vertices))
+                    v = int(rng.integers(num_vertices))
+                    if graph.is_undirected:
+                        u, v = min(u, v), max(u, v)
+                    if u != v and (u, v) not in pairs:
+                        break
+                else:
+                    continue
+                pairs.add((u, v))
+                weight = float(rng.uniform(weight_low, weight_high))
+                updates.append(EdgeUpdate("insert", u, v, weight))
+            elif action < 0.7:
+                u, v = sorted(pairs)[int(rng.integers(len(pairs)))]
+                pairs.remove((u, v))
+                updates.append(EdgeUpdate("delete", u, v))
+            else:
+                u, v = sorted(pairs)[int(rng.integers(len(pairs)))]
+                weight = float(rng.uniform(weight_low, weight_high))
+                updates.append(EdgeUpdate("reweight", u, v, weight))
+        batches.append(UpdateBatch.from_updates(updates))
+    return batches

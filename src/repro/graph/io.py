@@ -9,10 +9,13 @@ O(read) without a re-sort.
 from __future__ import annotations
 
 import os
+import struct
+import zipfile
+import zlib
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, SnapshotCorruptError
 from repro.graph.builder import from_arrays
 from repro.graph.csr import CSRGraph
 
@@ -116,8 +119,24 @@ def load_edge_list(
     )
 
 
-def save_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Save the raw CSR arrays as a compressed ``.npz``."""
+def _payload_checksum(payload: dict[str, np.ndarray]) -> int:
+    """CRC32 over key names and array bytes, in sorted-key order."""
+    crc = 0
+    for key in sorted(payload):
+        crc = zlib.crc32(key.encode("ascii"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(payload[key]).tobytes(), crc)
+    return crc
+
+
+def save_binary(
+    graph: CSRGraph, path: str | os.PathLike, epoch: int | None = None
+) -> None:
+    """Save the raw CSR arrays as a checksummed, compressed ``.npz``.
+
+    ``epoch`` tags the file with a dynamic-graph epoch id, so a
+    compacted base written by :class:`~repro.graph.dynamic.DynamicGraph`
+    knows which write-ahead-log records are already folded in.
+    """
     payload: dict[str, np.ndarray] = {
         "offsets": graph.offsets,
         "targets": graph.targets,
@@ -129,20 +148,62 @@ def save_binary(graph: CSRGraph, path: str | os.PathLike) -> None:
         payload["edge_types"] = graph.edge_types
     if graph.vertex_types is not None:
         payload["vertex_types"] = graph.vertex_types
+    if epoch is not None:
+        payload["graph_epoch"] = np.asarray([epoch], dtype=np.int64)
+    payload["checksum"] = np.asarray(
+        [_payload_checksum(payload)], dtype=np.uint32
+    )
     np.savez_compressed(path, **payload)
 
 
-def load_binary(path: str | os.PathLike) -> CSRGraph:
-    """Load a graph previously saved by :func:`save_binary`."""
-    with np.load(path) as data:
-        try:
-            return CSRGraph(
-                offsets=data["offsets"],
-                targets=data["targets"],
-                weights=data["weights"] if "weights" in data else None,
-                edge_types=data["edge_types"] if "edge_types" in data else None,
-                vertex_types=data["vertex_types"] if "vertex_types" in data else None,
-                undirected=bool(data["undirected"][0]),
+def load_binary(
+    path: str | os.PathLike, with_epoch: bool = False
+) -> CSRGraph | tuple[CSRGraph, int | None]:
+    """Load a graph previously saved by :func:`save_binary`.
+
+    Verifies the payload checksum when present (files written before
+    checksumming load unverified) and maps every flavour of torn or
+    bit-flipped file onto :class:`~repro.errors.SnapshotCorruptError`
+    instead of leaking raw numpy/zip/zlib errors.  ``with_epoch=True``
+    additionally returns the stored epoch id (``None`` on untagged
+    files).
+    """
+    try:
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+    except (
+        OSError,
+        ValueError,
+        EOFError,
+        zipfile.BadZipFile,
+        zlib.error,
+        struct.error,
+    ) as exc:
+        if isinstance(exc, OSError) and not os.path.exists(path):
+            raise GraphFormatError(f"{path}: no such file") from exc
+        raise SnapshotCorruptError(
+            f"{path}: unreadable graph file ({exc})"
+        ) from exc
+
+    stored_crc = arrays.pop("checksum", None)
+    if stored_crc is not None:
+        expected = _payload_checksum(arrays)
+        if int(stored_crc[0]) != expected:
+            raise SnapshotCorruptError(
+                f"{path}: checksum mismatch (stored {int(stored_crc[0])}, "
+                f"computed {expected}); the file is damaged"
             )
-        except KeyError as exc:
-            raise GraphFormatError(f"{path}: missing CSR array {exc}") from exc
+    epoch_array = arrays.pop("graph_epoch", None)
+    epoch = None if epoch_array is None else int(epoch_array[0])
+    try:
+        graph = CSRGraph(
+            offsets=arrays["offsets"],
+            targets=arrays["targets"],
+            weights=arrays.get("weights"),
+            edge_types=arrays.get("edge_types"),
+            vertex_types=arrays.get("vertex_types"),
+            undirected=bool(arrays["undirected"][0]),
+        )
+    except KeyError as exc:
+        raise GraphFormatError(f"{path}: missing CSR array {exc}") from exc
+    return (graph, epoch) if with_epoch else graph

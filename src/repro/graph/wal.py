@@ -1,0 +1,214 @@
+"""Write-ahead log for dynamic-graph update batches.
+
+Every committed epoch's update batch is appended to an on-disk log
+*before* it is applied in memory, so a crash at any instant loses at
+most the batch being written — never a committed one.  The format is
+deliberately minimal and self-verifying:
+
+``header``
+    8-byte magic ``b"RKWAL01\\n"`` identifying the file and format
+    version.
+
+``record``
+    ``u32 length`` (of the body) · ``u32 crc32`` (of the body) ·
+    ``body``, where the body starts with a ``u64`` epoch id followed by
+    the serialized update batch.  All integers little-endian.
+
+Torn-tail detection falls out of the framing: a crash mid-append
+leaves a final record whose length field, body, or checksum is
+incomplete or wrong.  :meth:`WriteAheadLog.open` scans records
+front-to-back, stops at the first frame that does not verify, truncates
+the file back to the last intact record, and reports what it dropped in
+a :class:`WalRecoveryReport` — graceful degradation, not an error,
+because a torn tail is the *expected* crash artifact.  Only a bad magic
+header or out-of-order epochs raise :class:`~repro.errors.WalError`:
+those mean the file is not (or no longer) this log.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import WalError
+
+__all__ = ["WriteAheadLog", "WalRecoveryReport", "WAL_MAGIC"]
+
+WAL_MAGIC = b"RKWAL01\n"
+
+_FRAME = struct.Struct("<II")  # length, crc32
+_EPOCH = struct.Struct("<Q")
+
+
+class _InjectedCrash(BaseException):
+    """Raised by the test-only torn-write hook.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    recovery paths in code under test cannot accidentally swallow the
+    simulated kill.
+    """
+
+
+@dataclass
+class WalRecoveryReport:
+    """What one :meth:`WriteAheadLog.open` scan found.
+
+    The conservation law the chaos tests pin: every byte of the file is
+    either part of an intact replayed record, part of a record skipped
+    as already folded into the base, or truncated —
+    ``bytes_scanned == bytes_intact + bytes_truncated``.
+    """
+
+    records_replayed: int = 0
+    records_skipped: int = 0
+    records_torn: int = 0
+    bytes_scanned: int = 0
+    bytes_intact: int = 0
+    bytes_truncated: int = 0
+    last_epoch: int | None = None
+    torn_detail: str | None = None
+    epochs: list[int] = field(default_factory=list)
+
+    def balanced(self) -> bool:
+        return self.bytes_scanned == self.bytes_intact + self.bytes_truncated
+
+
+class WriteAheadLog:
+    """Append-only, checksummed record log.
+
+    Use :meth:`create` for a fresh log and :meth:`open` to recover an
+    existing one (returning the intact records alongside the repaired,
+    append-ready log).
+    """
+
+    def __init__(self, path: str, handle) -> None:
+        self.path = str(path)
+        self._handle = handle
+        self.records_written = 0
+        self.bytes_written = 0
+        # Test-only fault injection: when set, the next append writes
+        # only this many bytes of the frame+body, flushes, and raises —
+        # simulating a kill mid-write with a deterministic torn tail.
+        self.inject_crash_after_bytes: int | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str) -> "WriteAheadLog":
+        """Start a new empty log, overwriting anything at ``path``."""
+        handle = open(path, "wb")
+        handle.write(WAL_MAGIC)
+        handle.flush()
+        return cls(path, handle)
+
+    @classmethod
+    def open(
+        cls, path: str, repair: bool = True
+    ) -> tuple["WriteAheadLog", list[tuple[int, bytes]], WalRecoveryReport]:
+        """Scan ``path``, truncate any torn tail, return intact records.
+
+        Returns ``(log, records, report)`` where ``records`` is the
+        list of ``(epoch, payload)`` tuples in append order and ``log``
+        is positioned for further appends.  With ``repair=False`` the
+        torn tail is reported but left in place and the returned log is
+        read-only (appending would interleave with the garbage).
+        """
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if len(blob) < len(WAL_MAGIC) or not blob.startswith(WAL_MAGIC):
+            raise WalError(f"{path!r} is not a write-ahead log (bad magic)")
+
+        report = WalRecoveryReport(bytes_scanned=len(blob))
+        records: list[tuple[int, bytes]] = []
+        position = len(WAL_MAGIC)
+        good_end = position
+        last_epoch: int | None = None
+        while position < len(blob):
+            frame = blob[position : position + _FRAME.size]
+            if len(frame) < _FRAME.size:
+                report.torn_detail = "torn frame header"
+                break
+            length, crc = _FRAME.unpack(frame)
+            body = blob[
+                position + _FRAME.size : position + _FRAME.size + length
+            ]
+            if len(body) < length or length < _EPOCH.size:
+                report.torn_detail = "torn record body"
+                break
+            if zlib.crc32(body) != crc:
+                report.torn_detail = "record checksum mismatch"
+                break
+            (epoch,) = _EPOCH.unpack_from(body)
+            if last_epoch is not None and epoch <= last_epoch:
+                raise WalError(
+                    f"{path!r}: record epochs out of order "
+                    f"({epoch} after {last_epoch})"
+                )
+            last_epoch = epoch
+            records.append((epoch, body[_EPOCH.size :]))
+            report.epochs.append(epoch)
+            position += _FRAME.size + length
+            good_end = position
+
+        report.records_replayed = len(records)
+        report.bytes_intact = good_end
+        report.bytes_truncated = len(blob) - good_end
+        report.records_torn = 1 if report.bytes_truncated else 0
+        report.last_epoch = last_epoch
+
+        if report.bytes_truncated and repair:
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+        handle = open(path, "ab") if repair else None
+        log = cls(path, handle)
+        log.records_written = len(records)
+        log.bytes_written = good_end - len(WAL_MAGIC)
+        return log, records, report
+
+    # ------------------------------------------------------------------
+    def append(self, epoch: int, payload: bytes) -> None:
+        """Durably frame one record; flush before returning."""
+        if self._handle is None:
+            raise WalError(f"{self.path!r} opened read-only (repair=False)")
+        body = _EPOCH.pack(epoch) + payload
+        frame = _FRAME.pack(len(body), zlib.crc32(body)) + body
+        if self.inject_crash_after_bytes is not None:
+            cut = self.inject_crash_after_bytes
+            self.inject_crash_after_bytes = None
+            self._handle.write(frame[:cut])
+            self._handle.flush()
+            raise _InjectedCrash(f"injected crash after {cut} bytes")
+        self._handle.write(frame)
+        self._handle.flush()
+        self.records_written += 1
+        self.bytes_written += len(frame)
+
+    def rewrite(self, records: list[tuple[int, bytes]]) -> None:
+        """Atomically replace the log's contents with ``records``.
+
+        Used after a durable compaction to drop records already folded
+        into the persisted base: the replacement is written to a
+        sidecar file and renamed over the log, so a crash at any point
+        leaves either the old complete log or the new complete log.
+        """
+        if self._handle is None:
+            raise WalError(f"{self.path!r} opened read-only (repair=False)")
+        sidecar = self.path + ".rewrite"
+        with open(sidecar, "wb") as handle:
+            handle.write(WAL_MAGIC)
+            for epoch, payload in records:
+                body = _EPOCH.pack(epoch) + payload
+                handle.write(_FRAME.pack(len(body), zlib.crc32(body)) + body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(sidecar, self.path)
+        self._handle = open(self.path, "ab")
+        self.records_written = len(records)
+        self.bytes_written = self._handle.tell() - len(WAL_MAGIC)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -32,6 +32,7 @@ from repro.lint.rules_generic import (
     MutableDefaultRule,
     SetIterationRule,
 )
+from repro.lint.rules_csr import CsrMutationRule
 from repro.lint.rules_process import NonModuleCallableRule, UnpicklablePayloadRule
 from repro.lint.rules_retry import FixedRetryBackoffRule
 from repro.lint.rules_rng import (
@@ -48,6 +49,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     UnseededGeneratorRule,
     LegacyNumpyRandomRule,
     WallClockRule,
+    CsrMutationRule,
     FixedRetryBackoffRule,
     NonModuleCallableRule,
     UnpicklablePayloadRule,

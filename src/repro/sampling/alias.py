@@ -146,6 +146,30 @@ class VertexAliasTables:
             self._prob[start:end] = prob
             self._alias[start:end] = alias + start  # flatten local indices
 
+    @classmethod
+    def _from_state(
+        cls,
+        graph: CSRGraph,
+        static_weights: np.ndarray,
+        prob: np.ndarray,
+        alias: np.ndarray,
+        totals: np.ndarray,
+    ) -> "VertexAliasTables":
+        """Install pre-computed flat tables (incremental path).
+
+        The caller (:mod:`repro.sampling.incremental`) guarantees the
+        arrays equal what ``__init__`` would compute over ``graph``:
+        untouched vertices' slices are copied (with flat alias indices
+        shifted to the new layout) and touched vertices re-run Vose.
+        """
+        tables = cls.__new__(cls)
+        tables._graph = graph
+        tables._static = static_weights
+        tables._prob = prob
+        tables._alias = alias
+        tables._totals = totals
+        return tables
+
     @property
     def graph(self) -> CSRGraph:
         return self._graph

@@ -20,7 +20,44 @@ import numpy as np
 from repro.errors import SamplingError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["VertexITSTables", "its_sample_from_cdf"]
+__all__ = ["VertexITSTables", "its_sample_from_cdf", "segmented_cumsum"]
+
+# Degree cutoff for the rank-iteration segmented prefix sum: slices no
+# longer than this are accumulated together, one vectorised pass per
+# rank; longer slices get a direct per-slice ``np.cumsum``.  Both paths
+# add the same float64 values in the same left-to-right order, so the
+# result is bit-identical either way — the split is purely about not
+# paying O(max_degree) passes for a handful of hub vertices.
+_RANK_ITERATION_CUTOFF = 256
+
+
+def segmented_cumsum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-slice inclusive prefix sums, slice ``i`` = ``[offsets[i], offsets[i+1])``.
+
+    Bit-identical to running ``np.cumsum`` on every slice separately:
+    each slice is accumulated strictly left-to-right in float64, with no
+    cross-slice carry.  That per-slice decomposability is what lets the
+    dynamic-graph path rebuild only touched vertices' CDFs and byte-copy
+    the rest while remaining exactly equal to a from-scratch build.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = values.copy()
+    starts = np.asarray(offsets[:-1], dtype=np.int64)
+    degrees = np.asarray(offsets[1:], dtype=np.int64) - starts
+    if out.size == 0 or degrees.size == 0:
+        return out
+    max_degree = int(degrees.max())
+    small = degrees <= _RANK_ITERATION_CUTOFF
+    for rank in range(1, min(max_degree, _RANK_ITERATION_CUTOFF)):
+        sel = starts[small & (degrees > rank)] + rank
+        if sel.size == 0:
+            break
+        out[sel] += out[sel - 1]
+    for vertex in np.nonzero(~small)[0]:
+        lo = starts[vertex]
+        hi = lo + degrees[vertex]
+        out[lo:hi] = np.cumsum(values[lo:hi])
+    return out
 
 
 def its_sample_from_cdf(cdf: np.ndarray, rng: np.random.Generator) -> int:
@@ -55,27 +92,58 @@ class VertexITSTables:
 
         self._graph = graph
         self._static = static_weights
-        # Global prefix sum, then subtract each slice's starting value to
-        # get per-vertex inclusive prefix sums without a Python loop.
-        running = np.cumsum(static_weights)
-        slice_base = np.zeros(graph.num_edges, dtype=np.float64)
-        starts = graph.offsets[:-1]
+        # Per-vertex prefix sums first (strictly per-slice, so a
+        # dynamic-graph epoch can rebuild just the touched slices and
+        # stay bit-identical to this from-scratch path), then the
+        # global-coordinate arrays are *derived* from them.
+        cdf = segmented_cumsum(static_weights, graph.offsets)
         degrees = graph.out_degrees()
         nonempty = degrees > 0
-        base_per_vertex = np.zeros(graph.num_vertices, dtype=np.float64)
-        base_per_vertex[nonempty] = np.where(
-            starts[nonempty] > 0, running[starts[nonempty] - 1], 0.0
-        )
-        slice_base = np.repeat(base_per_vertex, degrees)
-        self._cdf = running - slice_base
-        # The global prefix sum and per-vertex bases are kept: batch
-        # sampling maps each draw into global-CDF coordinates and does
-        # one searchsorted over all lanes at once.
-        self._running = running
-        self._base = base_per_vertex
-        self._totals = np.zeros(graph.num_vertices, dtype=np.float64)
+        totals = np.zeros(graph.num_vertices, dtype=np.float64)
         ends = graph.offsets[1:]
-        self._totals[nonempty] = self._cdf[ends[nonempty] - 1]
+        totals[nonempty] = cdf[ends[nonempty] - 1]
+        self._install(cdf, totals)
+
+    def _install(self, cdf: np.ndarray, totals: np.ndarray) -> None:
+        """Derive the global-coordinate arrays from per-vertex state.
+
+        ``base[v]`` is the exclusive prefix sum of per-vertex totals and
+        ``running`` shifts every slice into those global coordinates:
+        batch sampling maps each draw to ``base[v] + u * total[v]`` and
+        resolves every lane with one searchsorted.  Kept as a separate
+        step so the incremental-maintenance path (new ``cdf``/``totals``
+        with only touched slices rebuilt) derives them identically.
+        """
+        graph = self._graph
+        self._cdf = cdf
+        self._totals = totals
+        base = np.zeros(graph.num_vertices, dtype=np.float64)
+        np.cumsum(totals[:-1], out=base[1:])
+        self._base = base
+        degrees = np.diff(graph.offsets)
+        self._running = cdf + np.repeat(base, degrees)
+
+    @classmethod
+    def _from_state(
+        cls,
+        graph: CSRGraph,
+        static_weights: np.ndarray,
+        cdf: np.ndarray,
+        totals: np.ndarray,
+    ) -> "VertexITSTables":
+        """Install pre-computed per-vertex state (incremental path).
+
+        The caller (:mod:`repro.sampling.incremental`) guarantees that
+        ``cdf``/``totals`` equal what ``__init__`` would compute; the
+        global-coordinate arrays are derived through the same
+        :meth:`_install`, so the result is bit-identical to a
+        from-scratch build.
+        """
+        tables = cls.__new__(cls)
+        tables._graph = graph
+        tables._static = static_weights
+        tables._install(cdf, totals)
+        return tables
 
     @property
     def graph(self) -> CSRGraph:

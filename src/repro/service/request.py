@@ -98,6 +98,8 @@ class WalkResponse:
     request_id: int
     status: str
     result: WalkResult | None = None
+    #: the dynamic-graph epoch the walk pinned (None on static graphs)
+    graph_epoch: int | None = None
     degradations: tuple[str, ...] = ()
     shed_reason: str | None = None
     error: str | None = None

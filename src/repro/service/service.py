@@ -37,6 +37,7 @@ from repro.core.engine import WalkEngine
 from repro.core.stats import ServiceMetrics
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, EdgeUpdate, UpdateBatch
 from repro.service.breaker import CircuitBreaker
 from repro.service.deadline import Deadline
 from repro.service.degrade import DegradationPolicy, apply_degradation
@@ -89,6 +90,10 @@ class WalkService:
         if num_workers <= 0:
             raise ServiceError("num_workers must be positive")
         self.graph = graph
+        # Serialises commits against snapshot pinning: DynamicGraph is
+        # not internally thread-safe, but a pinned EpochSnapshot is
+        # immutable, so walks never need the lock after pinning.
+        self._graph_lock = threading.Lock()
         self.degradation = degradation
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.default_deadline = default_deadline
@@ -143,6 +148,30 @@ class WalkService:
             )
         return ticket
 
+    def apply_updates(
+        self, updates: UpdateBatch | list[EdgeUpdate]
+    ) -> int:
+        """Commit one update batch to the service's dynamic graph.
+
+        Requires the service default graph to be a
+        :class:`~repro.graph.dynamic.DynamicGraph`; returns the new
+        epoch.  Walks already running keep their pinned snapshots;
+        requests executed after this commit see the new epoch.
+        """
+        if not isinstance(self.graph, DynamicGraph):
+            raise ServiceError(
+                "apply_updates needs a DynamicGraph service graph"
+            )
+        if not isinstance(updates, UpdateBatch):
+            updates = UpdateBatch.from_updates(updates)
+        with self._graph_lock:
+            epoch = self.graph.commit(updates)
+        applied = len(updates)
+        with self._lock:
+            self.metrics.updates_applied += applied
+            self.metrics.epochs_committed += 1
+        return epoch
+
     def _resolve_shed(self, ticket: WalkTicket, reason: str) -> None:
         with self._lock:
             self.metrics.record_shed(reason)
@@ -186,6 +215,11 @@ class WalkService:
         # Degradation is decided by queue pressure at execution start.
         config = request.config
         graph = request.graph if request.graph is not None else self.graph
+        if isinstance(graph, DynamicGraph):
+            # Pin the current epoch now: the walk runs on an immutable
+            # snapshot regardless of updates applied while it executes.
+            with self._graph_lock:
+                graph = graph.snapshot()
         degradations: tuple[str, ...] = ()
         if self.degradation is not None:
             config, degradations = apply_degradation(
@@ -226,6 +260,7 @@ class WalkService:
                     request_id=request.request_id,
                     status=SHED,
                     result=result,
+                    graph_epoch=result.stats.graph_epoch,
                     degradations=degradations,
                     shed_reason="cancelled",
                     wait_seconds=wait_seconds,
@@ -249,6 +284,7 @@ class WalkService:
                 request_id=request.request_id,
                 status=status,
                 result=result,
+                graph_epoch=result.stats.graph_epoch,
                 degradations=degradations,
                 wait_seconds=wait_seconds,
                 run_seconds=time.monotonic() - started,

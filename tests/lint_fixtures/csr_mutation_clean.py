@@ -1,0 +1,35 @@
+# lint-fixture-path: src/repro/core/clean.py
+"""RK105 negatives: reads, local arrays, and dict payloads are fine."""
+
+import numpy as np
+
+
+def read_only(graph, edge):
+    return graph.weights[edge] + graph.targets[edge]
+
+
+def local_arrays(num_vertices, degrees):
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(degrees)  # plain local, not an attribute
+    targets = np.empty(int(offsets[-1]), dtype=np.int64)
+    targets[:] = -1
+    return offsets, targets
+
+
+def dict_payload(graph):
+    payload = {}
+    payload["offsets"] = graph.offsets  # string key, not a CSR store
+    payload["weights"] = graph.weights
+    return payload
+
+
+def copies_are_fine(graph):
+    weights = graph.weights.copy()
+    weights[0] = 99.0
+    weights.sort()
+    return weights
+
+
+def unrelated_attribute(stats, index):
+    stats.latencies[index] = 0.0
+    return stats

@@ -1,0 +1,12 @@
+# lint-fixture-path: src/repro/graph/compactor.py
+"""RK105 scoping: graph-package construction code may build in place."""
+
+import numpy as np
+
+
+def fold(base, overlay_degrees):
+    offsets = base.offsets.copy()
+    base.weights[:] = 1.0  # inside graph/: construction/compaction code
+    base.offsets[1:] = np.cumsum(overlay_degrees)
+    base.targets.sort()
+    return offsets

@@ -1,0 +1,41 @@
+# lint-fixture-path: src/repro/core/mutate.py
+"""RK105 positives: in-place CSR writes outside the graph package."""
+
+import numpy as np
+
+
+def clobber_weight(graph, edge, value):
+    graph.weights[edge] = value  # expect: RK105
+
+
+def rescale_slice(graph, start, end):
+    graph.weights[start:end] *= 2.0  # expect: RK105
+
+
+def rewire(graph, edge, target):
+    graph.targets[edge] = target  # expect: RK105
+
+
+def shift_offsets(g):
+    g.offsets[1:] = g.offsets[1:] + 1  # expect: RK105
+
+
+def retype(graph, edge):
+    graph.edge_types[edge] = 3  # expect: RK105
+
+
+def zero_everything(graph):
+    graph.weights.fill(0.0)  # expect: RK105
+
+
+def reorder(graph):
+    graph.targets.sort()  # expect: RK105
+
+
+def overwrite(graph, fresh):
+    np.copyto(graph.weights, fresh)  # expect: RK105
+
+
+def unpack_store(graph, edge, a, b):
+    graph.targets[edge], other = a, b  # expect: RK105
+    return other

@@ -59,9 +59,9 @@ class TestConstruction:
     def test_arrays_are_read_only(self):
         graph = diamond_graph()
         with pytest.raises(ValueError):
-            graph.targets[0] = 3
+            graph.targets[0] = 3  # lint: disable=RK105 -- proves immutability
         with pytest.raises(ValueError):
-            graph.offsets[0] = 1
+            graph.offsets[0] = 1  # lint: disable=RK105 -- proves immutability
 
 
 class TestAccessors:

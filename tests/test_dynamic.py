@@ -1,0 +1,530 @@
+"""Dynamic graphs: epochs, WAL recovery, incremental sampler upkeep.
+
+The load-bearing test here is the seed-swept property test: a random
+sequence of insert/delete/reweight epochs (with compaction interleaved)
+must leave the dynamic graph *bit-identical* to a from-scratch
+:func:`~repro.graph.builder.from_arrays` build of the surviving edge
+list — CSR arrays, alias tables, ITS tables, and Q(v)/L(v) bound
+arrays alike.  Everything else (epoch pinning in both engine modes,
+the cluster simulator, the service, checkpoints, the sanitizer's
+per-epoch certification) rides on that equivalence.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DeepWalk, Node2Vec, UniformWalk
+from repro.cluster import DistributedWalkEngine
+from repro.core.config import WalkConfig
+from repro.core.engine import WalkEngine
+from repro.core.snapshot import (
+    checkpoint_epoch,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.errors import GraphError, ServiceError, SnapshotError, WalError
+from repro.graph.builder import assign_random_weights, from_arrays, from_edges
+from repro.graph.dynamic import (
+    DynamicGraph,
+    EdgeUpdate,
+    UpdateBatch,
+    generate_churn_batches,
+    parse_update_stream,
+)
+from repro.graph.generators import erdos_renyi_graph
+from repro.lint.sanitizer import run_sanitized
+from repro.sampling.alias import VertexAliasTables
+from repro.sampling.its import VertexITSTables
+from repro.service import WalkRequest, WalkService
+
+
+def small_graph(seed=3, num_vertices=40, weighted=True):
+    graph = erdos_renyi_graph(num_vertices, 5.0, seed=seed)
+    return assign_random_weights(graph, seed=seed + 1) if weighted else graph
+
+
+def edge_list(graph):
+    """The graph's edges as a CSR-ordered [(s, t, w), ...] list."""
+    degrees = np.diff(graph.offsets)
+    sources = np.repeat(np.arange(graph.num_vertices), degrees)
+    weights = (
+        graph.weights
+        if graph.weights is not None
+        else np.ones(graph.num_edges)
+    )
+    return [
+        (int(s), int(t), float(w))
+        for s, t, w in zip(sources, graph.targets, weights)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Update batches and the update-stream grammar
+# ----------------------------------------------------------------------
+class TestUpdateBatch:
+    def test_roundtrip(self):
+        updates = [
+            EdgeUpdate("insert", 0, 1, 2.5),
+            EdgeUpdate("delete", 3, 4),
+            EdgeUpdate("reweight", 5, 6, 0.25, edge_type=2),
+        ]
+        batch = UpdateBatch.from_updates(updates)
+        assert len(batch) == 3
+        restored = UpdateBatch.from_bytes(batch.to_bytes())
+        assert list(restored.updates()) == updates
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeUpdate("frobnicate", 0, 1)
+
+    def test_truncated_blob_rejected(self):
+        blob = UpdateBatch.from_updates([EdgeUpdate("insert", 0, 1)]).to_bytes()
+        with pytest.raises(WalError):
+            UpdateBatch.from_bytes(blob[:-3])
+
+    def test_parse_update_stream(self):
+        lines = [
+            "# comment",
+            "insert 0 1 2.0",
+            "delete 2 3",
+            "commit",
+            "reweight 4 5 0.5",
+            "commit",
+        ]
+        batches = parse_update_stream(lines)
+        assert [len(b) for b in batches] == [2, 1]
+        assert batches[0].updates()[0] == EdgeUpdate("insert", 0, 1, 2.0)
+
+    def test_parse_update_stream_bad_line(self):
+        with pytest.raises(GraphError, match="line 2"):
+            parse_update_stream(["insert 0 1", "frobnicate 1 2"])
+
+
+# ----------------------------------------------------------------------
+# Commit semantics
+# ----------------------------------------------------------------------
+class TestCommit:
+    def test_insert_visible_in_next_snapshot(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1), (1, 2)]))
+        before = dyn.snapshot()
+        assert dyn.commit([EdgeUpdate("insert", 0, 3)]) == 1
+        after = dyn.snapshot()
+        assert not before.graph.has_edge(0, 3)  # snapshot isolation
+        assert after.graph.has_edge(0, 3)
+        assert after.epoch == before.epoch + 1
+
+    def test_delete_missing_edge_is_atomic(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1), (1, 2)]))
+        batch = [EdgeUpdate("insert", 0, 2), EdgeUpdate("delete", 2, 3)]
+        with pytest.raises(GraphError, match="delete of missing edge"):
+            dyn.commit(batch)
+        # Staging failed before anything was installed: no partial epoch.
+        assert dyn.epoch == 0
+        assert not dyn.snapshot().graph.has_edge(0, 2)
+
+    def test_reweight_missing_edge_raises(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1)]))
+        with pytest.raises(GraphError, match="reweight of missing edge"):
+            dyn.commit([EdgeUpdate("reweight", 1, 0, 2.0)])
+
+    def test_endpoint_out_of_range(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1)]))
+        with pytest.raises(GraphError):
+            dyn.commit([EdgeUpdate("insert", 0, 4)])
+
+    def test_bad_weight_rejected(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1)]))
+        with pytest.raises(GraphError):
+            dyn.commit([EdgeUpdate("insert", 0, 2, float("nan"))])
+        with pytest.raises(GraphError):
+            dyn.commit([EdgeUpdate("insert", 0, 2, -1.0)])
+
+    def test_undirected_mirrors_both_directions(self):
+        base = from_edges(4, [(0, 1), (1, 2)], undirected=True)
+        dyn = DynamicGraph(base)
+        dyn.commit([EdgeUpdate("insert", 0, 3, 2.5)])
+        graph = dyn.snapshot().graph
+        assert graph.has_edge(0, 3) and graph.has_edge(3, 0)
+        dyn.commit([EdgeUpdate("delete", 3, 0)])
+        graph = dyn.snapshot().graph
+        assert not graph.has_edge(0, 3) and not graph.has_edge(3, 0)
+
+    def test_stats_conservation(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1), (1, 2)]))
+        dyn.commit([EdgeUpdate("insert", 0, 2), EdgeUpdate("reweight", 0, 1, 3.0)])
+        dyn.commit([EdgeUpdate("delete", 1, 2)])
+        stats = dyn.stats
+        assert stats.epochs_committed == 2
+        assert stats.updates_submitted == 3
+        assert stats.inserts_applied == 1
+        assert stats.deletes_applied == 1
+        assert stats.reweights_applied == 1
+        assert stats.conservation_balanced()
+
+    def test_snapshot_at_retention_window(self):
+        dyn = DynamicGraph(from_edges(4, [(0, 1)]), retain_epochs=2)
+        for _ in range(4):
+            dyn.commit([EdgeUpdate("reweight", 0, 1, 2.0)])
+            dyn.snapshot()  # materialize so the epoch enters retention
+        assert dyn.snapshot_at(4).epoch == 4
+        assert dyn.snapshot_at(3).epoch == 3
+        with pytest.raises(GraphError, match="replay_to"):
+            dyn.snapshot_at(1)
+
+
+# ----------------------------------------------------------------------
+# Property test: epochs + compaction == from-scratch build
+# ----------------------------------------------------------------------
+def assert_tables_identical(ours, reference):
+    """Exact (bit-level) equality of two sampler-table objects."""
+    assert type(ours) is type(reference)
+    compared = 0
+    for attr in ("_prob", "_alias", "_totals", "_cdf", "_base",
+                 "_running", "_static"):
+        mine = getattr(ours, attr, None)
+        theirs = getattr(reference, attr, None)
+        assert (mine is None) == (theirs is None), attr
+        if mine is not None:
+            np.testing.assert_array_equal(mine, theirs, err_msg=attr)
+            compared += 1
+    assert compared >= 2  # the helper must actually compare something
+
+
+class _ModelGraph:
+    """Sorted-edge-list oracle mirroring DynamicGraph's semantics."""
+
+    def __init__(self, graph):
+        self.num_vertices = graph.num_vertices
+        self.edges = edge_list(graph)
+        self.keys = [(s, t) for s, t, _ in self.edges]
+
+    def apply(self, update):
+        key = (update.source, update.target)
+        if update.kind == "insert":
+            # After equal keys: matches the builder's stable lexsort.
+            pos = bisect.bisect_right(self.keys, key)
+            self.keys.insert(pos, key)
+            self.edges.insert(pos, (*key, update.weight))
+        else:
+            pos = bisect.bisect_left(self.keys, key)
+            if pos == len(self.keys) or self.keys[pos] != key:
+                raise AssertionError(f"model missing edge {key}")
+            if update.kind == "delete":
+                del self.keys[pos], self.edges[pos]
+            else:
+                self.edges[pos] = (*key, update.weight)
+
+    def build(self):
+        sources = np.array([e[0] for e in self.edges], dtype=np.int64)
+        targets = np.array([e[1] for e in self.edges], dtype=np.int64)
+        weights = np.array([e[2] for e in self.edges], dtype=np.float64)
+        return from_arrays(self.num_vertices, sources, targets, weights)
+
+    def random_update(self, rng):
+        roll = rng.random()
+        if roll < 0.4 or not self.edges:
+            source = int(rng.integers(self.num_vertices))
+            target = int(rng.integers(self.num_vertices))
+            return EdgeUpdate(
+                "insert", source, target, float(rng.uniform(0.5, 4.0))
+            )
+        source, target, _ = self.edges[int(rng.integers(len(self.edges)))]
+        if roll < 0.7:
+            return EdgeUpdate("delete", source, target)
+        return EdgeUpdate(
+            "reweight", source, target, float(rng.uniform(0.5, 4.0))
+        )
+
+
+class _DegreeBoundWalk(UniformWalk):
+    """Exercises the scalar-hook bound-maintenance path: no
+    ``upper_bound_array`` override, degree-dependent Q(v)."""
+
+    def dynamic_upper_bound(self, graph, vertex):
+        return 1.0 + 0.25 * graph.out_degree(vertex)
+
+    def dynamic_lower_bound(self, graph, vertex):
+        return 0.5 if graph.out_degree(vertex) else 0.0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_epochs_match_from_scratch_build(seed):
+    rng = np.random.default_rng(seed)
+    base = small_graph(seed=seed)
+    model = _ModelGraph(base)
+    dyn = DynamicGraph(base, verify="full", seed=seed)
+    program = _DegreeBoundWalk()
+
+    for epoch in range(1, 7):
+        updates = []
+        for _ in range(int(rng.integers(1, 12))):
+            update = model.random_update(rng)
+            model.apply(update)
+            updates.append(update)
+        assert dyn.commit(updates) == epoch
+
+        snap = dyn.snapshot()
+        reference = model.build()
+        assert snap.graph == reference
+        np.testing.assert_array_equal(snap.graph.weights, reference.weights)
+        assert_tables_identical(snap.tables("alias"), VertexAliasTables(reference))
+        assert_tables_identical(snap.tables("its"), VertexITSTables(reference))
+        upper, lower = snap.bounds_for(program)
+        np.testing.assert_array_equal(upper, program.upper_bound_array(reference))
+        np.testing.assert_array_equal(lower, program.lower_bound_array(reference))
+
+        if epoch % 3 == 0:
+            dyn.compact()  # folding must not perturb anything
+            assert dyn.snapshot().graph == reference
+
+    # verify="full" probed every vertex of every epoch without one miss.
+    assert dyn.maintenance.verify_checks > 0
+    assert dyn.maintenance.verify_mismatches == 0
+    assert dyn.maintenance.epochs_maintained > 0
+    assert dyn.stats.conservation_balanced()
+
+
+def test_incremental_tables_match_full_rebuild():
+    dyn = DynamicGraph(small_graph(seed=9))
+    dyn.commit([EdgeUpdate("insert", 0, 5, 2.0), EdgeUpdate("insert", 7, 3, 1.5)])
+    snap = dyn.snapshot()
+    assert_tables_identical(snap.tables("alias"), VertexAliasTables(snap.graph))
+    assert_tables_identical(snap.tables("its"), VertexITSTables(snap.graph))
+    # The second epoch reuses the first's tables incrementally.
+    dyn.commit([EdgeUpdate("delete", 0, 5)])
+    snap = dyn.snapshot()
+    assert_tables_identical(snap.tables("alias"), VertexAliasTables(snap.graph))
+    assert dyn.maintenance.epochs_maintained >= 1
+    assert dyn.maintenance.vertices_copied > 0
+
+
+def test_verification_fallback_on_corruption():
+    dyn = DynamicGraph(small_graph(seed=11), verify="full", seed=1)
+    dyn.commit([EdgeUpdate("insert", 1, 2, 3.0)])
+    dyn.snapshot().tables("alias")  # prime the cache
+    dyn._test_corrupt_incremental = True
+    dyn.commit([EdgeUpdate("insert", 2, 3, 2.0)])
+    snap = dyn.snapshot()
+    tables = snap.tables("alias")
+    # The corrupted incremental build was detected and discarded; the
+    # served tables still match a from-scratch rebuild exactly.
+    assert_tables_identical(tables, VertexAliasTables(snap.graph))
+    assert dyn.maintenance.verify_mismatches >= 1
+    assert dyn.maintenance.verify_fallbacks >= 1
+
+
+# ----------------------------------------------------------------------
+# WAL recovery and durable compaction
+# ----------------------------------------------------------------------
+class TestWalRecovery:
+    def test_recover_replays_all_epochs(self, tmp_path):
+        wal = tmp_path / "graph.wal"
+        base = small_graph(seed=5)
+        dyn = DynamicGraph(base, wal_path=wal)
+        rng = np.random.default_rng(0)
+        model = _ModelGraph(base)
+        for _ in range(3):
+            updates = [model.random_update(rng) for _ in range(4)]
+            for update in updates:
+                model.apply(update)
+            dyn.commit(updates)
+        expected = dyn.snapshot().graph
+        dyn.close()
+
+        recovered = DynamicGraph.recover(base, wal)
+        assert recovered.epoch == 3
+        assert recovered.snapshot().graph == expected
+        assert recovered.stats.recovery is not None
+        assert recovered.stats.recovery.balanced()
+
+    def test_recover_replay_to_partial(self, tmp_path):
+        wal = tmp_path / "graph.wal"
+        base = from_edges(4, [(0, 1)])
+        dyn = DynamicGraph(base, wal_path=wal)
+        dyn.commit([EdgeUpdate("insert", 1, 2)])
+        dyn.commit([EdgeUpdate("insert", 2, 3)])
+        dyn.close()
+        partial = DynamicGraph.recover(base, wal, replay_to=1)
+        assert partial.epoch == 1
+        graph = partial.snapshot().graph
+        assert graph.has_edge(1, 2) and not graph.has_edge(2, 3)
+
+    def test_save_compacted_roundtrip(self, tmp_path):
+        wal = tmp_path / "graph.wal"
+        npz = tmp_path / "base.npz"
+        base = small_graph(seed=6)
+        dyn = DynamicGraph(base, wal_path=wal)
+        dyn.commit([EdgeUpdate("insert", 0, 1, 2.0)])
+        dyn.commit([EdgeUpdate("insert", 1, 0, 3.0)])
+        expected = dyn.snapshot().graph
+        dyn.save_compacted(npz)
+        dyn.commit([EdgeUpdate("delete", 0, 1)])
+        final = dyn.snapshot().graph
+        dyn.close()
+
+        loaded = DynamicGraph.load_compacted(npz, wal)
+        assert loaded.epoch == 3
+        assert loaded.snapshot().graph == final
+        assert expected.has_edge(0, 1)  # pre-compaction view unaffected
+
+
+# ----------------------------------------------------------------------
+# Epoch pinning through the engine stack
+# ----------------------------------------------------------------------
+class TestEnginePinning:
+    @pytest.mark.parametrize("engine_mode", ["step", "walker"])
+    def test_engine_pins_snapshot(self, engine_mode):
+        dyn = DynamicGraph(small_graph(seed=7))
+        dyn.commit([EdgeUpdate("insert", 0, 1, 2.0)])
+        config = WalkConfig(
+            num_walkers=30, max_steps=8, record_paths=True, seed=4,
+            engine_mode=engine_mode,
+        )
+        engine = WalkEngine(dyn, DeepWalk(), config)
+        assert engine.graph_epoch == 1
+        # Commits after construction must not affect the pinned walk.
+        dyn.commit([EdgeUpdate("delete", 0, 1)])
+        result = engine.run()
+        assert result.stats.graph_epoch == 1
+
+        static = WalkEngine(dyn.snapshot_at(1).graph, DeepWalk(), config)
+        np.testing.assert_array_equal(result.paths, static.run().paths)
+
+    def test_engine_on_snapshot_matches_materialized(self):
+        dyn = DynamicGraph(small_graph(seed=8))
+        dyn.commit([EdgeUpdate("insert", 2, 3, 4.0)])
+        snap = dyn.snapshot()
+        config = WalkConfig(
+            num_walkers=25, max_steps=6, record_paths=True, seed=9
+        )
+        from_snap = WalkEngine(snap, Node2Vec(p=2.0, q=0.5), config).run()
+        from_csr = WalkEngine(snap.graph, Node2Vec(p=2.0, q=0.5), config).run()
+        np.testing.assert_array_equal(from_snap.paths, from_csr.paths)
+        assert from_snap.stats.graph_epoch == 1
+        assert from_csr.stats.graph_epoch is None
+
+    def test_distributed_engine_pins_epoch(self):
+        base = erdos_renyi_graph(60, 5.0, seed=2, undirected=True)
+        dyn = DynamicGraph(base)
+        dyn.commit([EdgeUpdate("insert", 0, 59, 2.0)])
+        config = WalkConfig(
+            num_walkers=40, max_steps=6, record_paths=True, seed=3
+        )
+        engine = DistributedWalkEngine(dyn, UniformWalk(), config, num_nodes=2)
+        result = engine.run()
+        assert result.stats.graph_epoch == 1
+        single = WalkEngine(dyn.snapshot_at(1).graph, UniformWalk(), config)
+        np.testing.assert_array_equal(result.paths, single.run().paths)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints carry the epoch
+# ----------------------------------------------------------------------
+class TestCheckpointEpoch:
+    def _setup(self):
+        dyn = DynamicGraph(small_graph(seed=10))
+        dyn.commit([EdgeUpdate("insert", 0, 2, 2.0)])
+        dyn.commit([EdgeUpdate("reweight", 0, 2, 1.5)])
+        config = WalkConfig(
+            num_walkers=20, max_steps=10, record_paths=True, seed=1
+        )
+        return dyn, UniformWalk(), config
+
+    def test_checkpoint_records_epoch(self, tmp_path):
+        dyn, program, config = self._setup()
+        engine = WalkEngine(dyn, program, config)
+        engine.run(max_iterations=2)
+        path = tmp_path / "walk.npz"
+        save_checkpoint(engine, path)
+        assert checkpoint_epoch(path) == 2
+
+        restored = restore_checkpoint(dyn, program, config, path)
+        finished = restored.run()
+        reference = WalkEngine(dyn, program, config).run()
+        for resumed_path, straight_path in zip(
+            finished.paths, reference.paths
+        ):
+            np.testing.assert_array_equal(resumed_path, straight_path)
+
+    def test_restore_rejects_wrong_epoch(self, tmp_path):
+        dyn, program, config = self._setup()
+        engine = WalkEngine(dyn, program, config)
+        engine.run(max_iterations=2)
+        path = tmp_path / "walk.npz"
+        save_checkpoint(engine, path)
+        dyn.commit([EdgeUpdate("delete", 0, 2)])
+        with pytest.raises(SnapshotError, match="replay_to=2"):
+            restore_checkpoint(dyn, program, config, path)
+
+    def test_static_checkpoint_has_no_epoch(self, tmp_path):
+        graph = small_graph(seed=10)
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        engine.run(max_iterations=2)
+        path = tmp_path / "walk.npz"
+        save_checkpoint(engine, path)
+        assert checkpoint_epoch(path) is None
+
+
+# ----------------------------------------------------------------------
+# Service: updates interleaved with requests
+# ----------------------------------------------------------------------
+class TestServiceUpdates:
+    def test_apply_updates_advances_served_epoch(self):
+        dyn = DynamicGraph(small_graph(seed=12))
+        config = WalkConfig(num_walkers=10, max_steps=5, seed=2)
+        with WalkService(dyn, num_workers=1) as service:
+            first = service.submit(
+                WalkRequest(program=UniformWalk(), config=config)
+            ).result(timeout=30)
+            assert first.ok and first.graph_epoch == 0
+
+            epoch = service.apply_updates([EdgeUpdate("insert", 0, 3, 2.0)])
+            assert epoch == 1
+            second = service.submit(
+                WalkRequest(program=UniformWalk(), config=config)
+            ).result(timeout=30)
+            assert second.ok and second.graph_epoch == 1
+            assert service.metrics.updates_applied == 1
+            assert service.metrics.epochs_committed == 1
+
+    def test_apply_updates_requires_dynamic_graph(self):
+        with WalkService(small_graph(seed=12), num_workers=1) as service:
+            with pytest.raises(ServiceError):
+                service.apply_updates([EdgeUpdate("insert", 0, 1)])
+
+
+# ----------------------------------------------------------------------
+# Sanitizer: per-epoch replay certification
+# ----------------------------------------------------------------------
+def test_sanitizer_certifies_per_epoch_replay():
+    base = small_graph(seed=13)
+    batches = generate_churn_batches(base, num_epochs=2, updates_per_epoch=15, seed=4)
+    config = WalkConfig(num_walkers=20, max_steps=6, seed=5)
+
+    def factory_for(epoch):
+        def factory():
+            dyn = DynamicGraph(base, seed=5)
+            for batch in batches[:epoch]:
+                dyn.commit(batch)
+            return WalkEngine(dyn, UniformWalk(), config)
+        return factory
+
+    for epoch in range(1, len(batches) + 1):
+        report = run_sanitized(factory_for(epoch), runs=2)
+        assert report.deterministic, report.summary()
+
+
+def test_generate_churn_batches_replayable():
+    base = small_graph(seed=14)
+    batches = generate_churn_batches(base, num_epochs=3, updates_per_epoch=10, seed=6)
+    assert len(batches) == 3
+    first = DynamicGraph(base)
+    second = DynamicGraph(base)
+    for batch in batches:
+        first.commit(batch)
+        second.commit(batch)
+    assert first.snapshot().graph == second.snapshot().graph
+    assert first.stats.conservation_balanced()

@@ -63,6 +63,15 @@ def test_overload():
     assert "-> True" in output  # the conservation law held
 
 
+def test_dynamic_churn():
+    output = run_example("dynamic_churn.py", timeout=300)
+    assert "committed 3 epochs" in output
+    assert "0 mismatches" in output  # verification probes all clean
+    assert "recovered to epoch 3" in output
+    assert "conservation balanced" in output
+    assert "bit-identical to the pre-crash walk" in output
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -75,6 +84,7 @@ def test_overload():
         "distributed_simulation.py",
         "fault_tolerance.py",
         "overload.py",
+        "dynamic_churn.py",
     ],
 )
 def test_example_files_are_importable(name):

@@ -44,6 +44,12 @@ def test_quick_report_roundtrip(tmp_path):
     # Quick numbers must never be compared against the full-run
     # pre-PR reference.
     assert "speedup_vs_pre_pr" not in report["workloads"]["node2vec"]
+    # Update-apply throughput is a top-level section: the floor gate
+    # iterates ``workloads`` and must never see it as a walk entry.
+    updates = report["update_throughput"]
+    assert updates["updates_applied"] > 0
+    assert updates["edges_per_sec"] > 0
+    assert updates["num_epochs"] > 0
     # The floor gate runs against this schema (a tiny quick run is too
     # noisy to assert it *passes*, only that it evaluates).
     assert isinstance(enforce_engine_floor(report), list)

@@ -214,6 +214,58 @@ class TestCorruptFiles:
             restore_checkpoint(graph, UniformWalk(), config, skewed)
 
 
+class TestCorruptionIsTyped:
+    """Damage is distinguishable from absence: torn or bit-flipped
+    files raise :class:`SnapshotCorruptError` (a :class:`SnapshotError`
+    subclass), so callers can catch corruption specifically."""
+
+    def _flip_middle_byte(self, path):
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def test_checkpoint_bit_flip_raises_corrupt_error(self, graph, tmp_path):
+        from repro.errors import SnapshotCorruptError
+
+        config = WalkConfig(num_walkers=20, max_steps=10, seed=1)
+        engine = WalkEngine(graph, UniformWalk(), config)
+        engine.run(max_iterations=3)
+        path = tmp_path / "walk.npz"
+        save_checkpoint(engine, path)
+        self._flip_middle_byte(path)
+        with pytest.raises(SnapshotCorruptError):
+            restore_checkpoint(graph, UniformWalk(), config, path)
+
+    def test_graph_file_bit_flip_raises_corrupt_error(self, graph, tmp_path):
+        from repro.errors import SnapshotCorruptError
+        from repro.graph.io import load_binary, save_binary
+
+        path = tmp_path / "graph.npz"
+        save_binary(graph, path)
+        assert load_binary(path) == graph  # intact file round-trips
+        self._flip_middle_byte(path)
+        with pytest.raises(SnapshotCorruptError):
+            load_binary(path)
+
+    def test_graph_file_truncation_raises_corrupt_error(self, graph, tmp_path):
+        from repro.errors import SnapshotCorruptError
+        from repro.graph.io import load_binary, save_binary
+
+        path = tmp_path / "graph.npz"
+        save_binary(graph, path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(SnapshotCorruptError):
+            load_binary(path)
+
+    def test_missing_graph_file_is_not_corruption(self, tmp_path):
+        from repro.errors import GraphFormatError, SnapshotCorruptError
+        from repro.graph.io import load_binary
+
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_binary(tmp_path / "absent.npz")
+        assert not isinstance(excinfo.value, SnapshotCorruptError)
+
+
 class TestDistributedCheckpoint:
     def test_round_trip_resumes_bit_identically(self, graph, tmp_path):
         config = WalkConfig(
