@@ -13,6 +13,11 @@ invariants this reproduction's correctness rests on:
   just under ``fork``.
 * **Generic hygiene** (RK401-RK403) — mutable defaults, bare
   ``except:``, and unsorted set iteration.
+* **Whole-program flow rules** (RK106/RK110/RK210/RK310) — the
+  interprocedural layer in :mod:`repro.lint.flow`: RNG escape across
+  message/process boundaries, wall-clock taint reaching simulated-time
+  code through helpers, epoch-snapshot views outliving their epoch,
+  and unpicklable values that *actually* reach spawn call sites.
 
 Findings can be suppressed per line (``# lint: disable=RK101 --
 reason``) or absorbed by a checked-in count-based baseline
@@ -27,18 +32,30 @@ imports neither.
 """
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import DEFAULT_RULES, Linter, LintReport, rule_catalog
+from repro.lint.engine import (
+    DEFAULT_RULES,
+    Linter,
+    LintReport,
+    render_rule_catalog_markdown,
+    rule_catalog,
+)
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow import FLOW_RULES, FlowCache, FlowSpec, ProjectIndex
 from repro.lint.rules import FileContext, Rule
 
 __all__ = [
     "Baseline",
     "DEFAULT_RULES",
+    "FLOW_RULES",
     "FileContext",
     "Finding",
+    "FlowCache",
+    "FlowSpec",
     "LintReport",
     "Linter",
+    "ProjectIndex",
     "Rule",
     "Severity",
+    "render_rule_catalog_markdown",
     "rule_catalog",
 ]

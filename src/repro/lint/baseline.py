@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from pathlib import PurePosixPath
+from pathlib import Path, PurePosixPath
 
 from repro.errors import LintError
 from repro.lint.findings import Finding
@@ -109,6 +109,31 @@ class Baseline:
             else:
                 out.append(finding)
         return out
+
+    def stale_entries(
+        self, findings: list[Finding], scanned_paths: set[str]
+    ) -> list[tuple[str, str, int]]:
+        """Baseline entries whose budget exceeds current findings.
+
+        Returns ``(path, rule_id, leftover_count)`` triples — the drift
+        the ``RK002`` meta-finding reports.  Only entries whose file was
+        part of this scan (or no longer exists anywhere in it) are
+        considered: linting a single file must not declare the rest of
+        the baseline stale.
+        """
+        produced: Counter[tuple[str, str]] = Counter(
+            (self._normalise(f.path), f.rule_id) for f in findings
+        )
+        stale: list[tuple[str, str, int]] = []
+        for file_path, rules in sorted(self.entries.items()):
+            norm = self._normalise(file_path)
+            if norm not in scanned_paths and Path(file_path).exists():
+                continue  # outside this scan's scope; can't judge drift
+            for rule, count in sorted(rules.items()):
+                leftover = count - produced.get((norm, rule), 0)
+                if leftover > 0:
+                    stale.append((file_path, rule, leftover))
+        return stale
 
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":

@@ -1,0 +1,96 @@
+"""Incremental flow cache keyed on file content hashes.
+
+The flow analyzer's per-file work — lowering the AST into the module
+summary IR — dominates a warm run, and its output depends only on the
+file's bytes and scan-relative path.  :class:`FlowCache` persists those
+summaries as JSON keyed by SHA-256 content hash, so a CI run (or a
+pre-commit hook) re-extracts only the files that actually changed; the
+cross-module taint fixed point always re-runs, because its result
+depends on every file.
+
+The cache also remembers each file's hash from the previous run, which
+is what ``repro lint --changed-only`` uses to scope *reporting* to
+files whose content moved (the analysis itself stays whole-program, so
+an unchanged file whose callee changed still reports correctly on a
+full run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any
+
+__all__ = ["FlowCache", "content_hash"]
+
+_FORMAT_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FlowCache:
+    """Content-hash keyed store of extracted module summaries."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "FlowCache":
+        cache = cls(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return cache  # cold or corrupt cache: start fresh
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _FORMAT_VERSION
+            and isinstance(payload.get("files"), dict)
+        ):
+            cache.entries = payload["files"]
+        return cache
+
+    def save(self, path: str | None = None) -> None:
+        target = path if path is not None else self.path
+        if target is None or not self._dirty:
+            return
+        payload = {"version": _FORMAT_VERSION, "files": self.entries}
+        tmp = f"{target}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, target)
+        except OSError:
+            pass  # a read-only checkout must not fail the lint run
+
+    # ------------------------------------------------------------------
+    def get_summary(self, key: str, file_hash: str) -> dict | None:
+        entry = self.entries.get(key)
+        if entry is not None and entry.get("hash") == file_hash:
+            self.hits += 1
+            return entry.get("summary")
+        self.misses += 1
+        return None
+
+    def put_summary(self, key: str, file_hash: str, summary: dict) -> None:
+        self.entries[key] = {"hash": file_hash, "summary": summary}
+        self._dirty = True
+
+    def previous_hash(self, key: str) -> str | None:
+        entry = self.entries.get(key)
+        return entry.get("hash") if entry is not None else None
+
+    def prune(self, live_keys: set[str]) -> None:
+        """Drop entries for files no longer part of the scan."""
+        dead = [key for key in self.entries if key not in live_keys]
+        for key in dead:
+            del self.entries[key]
+            self._dirty = True

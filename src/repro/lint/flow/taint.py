@@ -1,0 +1,606 @@
+"""Fixed-point interprocedural taint engine over function summaries.
+
+Labels are either ``"P<i>"`` (flows from the function's i-th
+parameter) or ``("SRC", rel_path, line)`` (created by a rule source at
+that location).  Every function gets a summary:
+
+* ``ret`` — the labels its return value carries;
+* ``param_sinks`` — ``(param index, sink site)`` pairs: a value
+  flowing into that parameter reaches that sink somewhere below.
+
+Summaries reference callee summaries, so the engine iterates all
+functions to a global fixed point (the lattice is finite and all
+transfer functions are monotone — taint sets only grow).  A two-frame
+helper chain needs two propagation rounds: round one learns that
+``helper2`` forwards its parameter into a sink, round two that
+``helper1`` forwards into ``helper2``, after which the call site in
+the walker context reports with the full source location attached.
+
+Within a function the analysis is flow-insensitive (facts iterate to a
+local fixed point), which soundly over-approximates loops and
+reassignment at lint-grade precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallResolver
+from repro.lint.flow.index import ProjectIndex
+from repro.lint.flow.specs import (
+    CONTAINER_MUTATORS,
+    CROSS_PROCESS_METHODS,
+    PARENT_SIDE_KWARGS,
+    FlowSpec,
+)
+
+__all__ = ["TaintAnalysis", "run_flow_rules"]
+
+Label = Any  # "P<i>" | ("SRC", rel_path, line)
+Site = tuple[str, str, int, int, str]  # path, rel_path, line, col, kind
+
+_MAX_SRC_LABELS = 6
+_MAX_GLOBAL_ROUNDS = 40
+_MAX_LOCAL_ROUNDS = 4
+
+
+def _srcs(labels: set[Label]) -> frozenset[Label]:
+    chosen = sorted((lb for lb in labels if isinstance(lb, tuple)),
+                    key=lambda lb: (lb[1], lb[2]))
+    return frozenset(chosen[:_MAX_SRC_LABELS])
+
+
+def _params(labels: set[Label]) -> list[int]:
+    return sorted(int(lb[1:]) for lb in labels if isinstance(lb, str))
+
+
+class _Out:
+    """Per-pass accumulator: concrete hits and parameter-mediated sinks."""
+
+    __slots__ = ("hits", "psinks")
+
+    def __init__(self) -> None:
+        self.hits: dict[Site, set[Label]] = {}
+        self.psinks: set[tuple[int, Site]] = set()
+
+
+class TaintAnalysis:
+    """Run one :class:`FlowSpec` over a :class:`ProjectIndex`."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        spec: FlowSpec,
+        resolver: CallResolver | None = None,
+        types_cache: dict[str, dict] | None = None,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.resolver = resolver if resolver is not None else CallResolver(index)
+        if types_cache is None:
+            types_cache = {
+                fid: self.resolver.local_types(fn)
+                for fid, fn in index.functions.items()
+            }
+        self.types = types_cache
+        empty: tuple[frozenset, frozenset] = (frozenset(), frozenset())
+        self.summaries: dict[str, tuple[frozenset, frozenset]] = {
+            fid: empty for fid in index.functions
+        }
+        self.class_attrs: dict[tuple[str, str, str], frozenset] = {}
+        self.globals_taint: dict[tuple[str, str], frozenset] = {}
+        self._changed = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        order = sorted(self.index.functions)
+        hits: dict[Site, set[Label]] = {}
+        for _ in range(_MAX_GLOBAL_ROUNDS):
+            self._changed = False
+            hits = {}
+            for fid in order:
+                func = self.index.functions[fid]
+                out = _Out()
+                ret, psinks = self._pass(func, out)
+                if (ret, psinks) != self.summaries[fid]:
+                    self.summaries[fid] = (ret, psinks)
+                    self._changed = True
+                for site, labels in out.hits.items():
+                    hits.setdefault(site, set()).update(labels)
+            if not self._changed:
+                break
+        return self._findings(hits)
+
+    def _findings(self, hits: dict[Site, set[Label]]) -> list[Finding]:
+        findings: list[Finding] = []
+        for site in sorted(hits):
+            path, rel_path, line, col, _kind = site
+            sources = sorted(
+                (lb for lb in hits[site] if isinstance(lb, tuple)),
+                key=lambda lb: (lb[1], lb[2]),
+            )
+            if not sources:
+                continue
+            if self.spec.skip_same_line and all(
+                src[1] == rel_path and src[2] == line for src in sources
+            ):
+                continue
+            origins = ", ".join(
+                f"{src[1]}:{src[2]}" for src in sources[:2]
+            )
+            trace = f" (origin: {origins})" if origins else ""
+            findings.append(
+                Finding(
+                    rule_id=self.spec.rule_id,
+                    path=path,
+                    line=line,
+                    column=col,
+                    message=self.spec.sink_message.format(trace=trace),
+                    severity=self.spec.severity,
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _pass(self, func: dict, out: _Out):
+        params = list(func["params"]) + list(func.get("kwonly", ()))
+        env: dict[str, set[Label]] = {
+            name: {f"P{i}"} for i, name in enumerate(params)
+        }
+        ret: set[Label] = set()
+        for _ in range(_MAX_LOCAL_ROUNDS):
+            before = {name: len(labels) for name, labels in env.items()}
+            ret_before = len(ret)
+            for fact in func["facts"]:
+                self._fact(fact, func, env, ret, out)
+            if (
+                len(ret) == ret_before
+                and all(
+                    len(env[name]) == count
+                    for name, count in before.items()
+                )
+                and len(env) == len(before)
+            ):
+                break
+        psinks = frozenset(out.psinks)
+        ret_labels = frozenset(
+            lb for lb in ret if isinstance(lb, str)
+        ) | _srcs(ret)
+        return ret_labels, psinks
+
+    # ------------------------------------------------------------------
+    def _fact(self, fact: dict, func: dict, env, ret: set[Label],
+              out: _Out) -> None:
+        kind = fact["f"]
+        spec = self.spec
+        rel_path = self.index.rel_path_of(func["id"])
+        if kind == "assign":
+            labels = self._expr(fact["value"], func, env, out)
+            for target in fact["targets"]:
+                env.setdefault(target, set()).update(labels)
+        elif kind == "attrstore":
+            labels = self._expr(fact["value"], func, env, out)
+            self._expr(fact["base"], func, env, out)
+            if fact["self"] and func.get("cls"):
+                key = (func["module"], func["cls"], fact["attr"])
+                merged = self.class_attrs.get(key, frozenset()) | _srcs(labels)
+                if merged != self.class_attrs.get(key, frozenset()):
+                    self.class_attrs[key] = merged
+                    self._changed = True
+            if labels and spec.escape_sinks and not spec.sanctioned(rel_path):
+                site = (func_path(self.index, func), rel_path,
+                        fact["line"], fact["col"], "escape")
+                self._record(labels, site, out)
+        elif kind == "globalstore":
+            labels = self._expr(fact["value"], func, env, out)
+            key = (func["module"], fact["name"])
+            merged = self.globals_taint.get(key, frozenset()) | _srcs(labels)
+            if merged != self.globals_taint.get(key, frozenset()):
+                self.globals_taint[key] = merged
+                self._changed = True
+            if labels and spec.escape_sinks and not spec.sanctioned(rel_path):
+                site = (func_path(self.index, func), rel_path,
+                        fact["line"], fact["col"], "escape")
+                self._record(labels, site, out)
+        elif kind == "itemstore":
+            labels = self._expr(fact["value"], func, env, out)
+            base = fact["base"]
+            if base.get("k") == "name":
+                env.setdefault(base["id"], set()).update(labels)
+            elif (
+                labels
+                and spec.escape_sinks
+                and not spec.sanctioned(rel_path)
+                and base.get("k") == "attr"
+                and base.get("base", {}).get("k") == "name"
+                and base["base"].get("id") == "self"
+            ):
+                site = (func_path(self.index, func), rel_path,
+                        fact["line"], fact["col"], "escape")
+                self._record(labels, site, out)
+        elif kind == "return":
+            ret.update(self._expr(fact["value"], func, env, out))
+        elif kind == "expr":
+            self._expr(fact["value"], func, env, out)
+
+    # ------------------------------------------------------------------
+    def _record(self, labels: set[Label], site: Site, out: _Out) -> None:
+        src_labels = {lb for lb in labels if isinstance(lb, tuple)}
+        if src_labels:
+            out.hits.setdefault(site, set()).update(src_labels)
+        for i in _params(labels):
+            out.psinks.add((i, site))
+
+    # ------------------------------------------------------------------
+    def _expr(self, expr: dict, func: dict, env, out: _Out) -> set[Label]:
+        kind = expr.get("k")
+        spec = self.spec
+        if kind == "name":
+            return self._name_labels(expr["id"], func, env)
+        if kind == "attr":
+            return self._attr_labels(expr, func, env, out)
+        if kind == "call":
+            return self._call(expr, func, env, out)
+        if kind == "many":
+            labels: set[Label] = set()
+            for item in expr["items"]:
+                labels |= self._expr(item, func, env, out)
+            return labels
+        if kind in ("lambda", "genexp", "localfunc"):
+            labels = set()
+            for captured in expr.get("captures", ()):
+                labels |= self._name_labels(captured, func, env)
+            is_source = (
+                (kind == "lambda" and spec.lambda_source)
+                or (kind == "genexp" and spec.genexp_source)
+                or (kind == "localfunc" and spec.localfunc_source)
+            )
+            if is_source:
+                labels.add(
+                    ("SRC", self.index.rel_path_of(func["id"]), expr["line"])
+                )
+            return labels
+        return set()
+
+    def _name_labels(self, name: str, func: dict, env) -> set[Label]:
+        labels = set(env.get(name, ()))
+        if name not in env:
+            module = self.index.modules.get(func["module"], {})
+            key = (func["module"], name)
+            labels |= self.globals_taint.get(key, frozenset())
+            alias = module.get("aliases", {}).get(name)
+            if alias is not None:
+                resolved = self.index.resolve(alias)
+                if resolved is not None and resolved[0] == "global":
+                    labels |= self.globals_taint.get(resolved[1], frozenset())
+        return labels
+
+    def _attr_labels(self, expr: dict, func: dict, env, out: _Out):
+        spec = self.spec
+        labels: set[Label] = set()
+        base = expr["base"]
+        # self.attr reads pick up class-attribute taint through the MRO.
+        if (
+            base.get("k") == "name"
+            and base.get("id") == "self"
+            and func.get("cls")
+        ):
+            for ref in self.index.class_mro((func["module"], func["cls"])):
+                key = (ref[0], ref[1], expr["attr"])
+                labels |= self.class_attrs.get(key, frozenset())
+        # Fully dotted chains may name a tainted module global.
+        root, chain = _chain_of(expr)
+        if root is not None and root not in env:
+            module = self.index.modules.get(func["module"], {})
+            dotted = ".".join(
+                [module.get("aliases", {}).get(root, root)] + chain
+            )
+            resolved = self.index.resolve(dotted)
+            if resolved is not None and resolved[0] == "global":
+                labels |= self.globals_taint.get(resolved[1], frozenset())
+        base_labels = self._expr(base, func, env, out)
+        if (
+            base_labels
+            and spec.propagate_attrs
+            and expr["attr"] not in spec.sanitize_attrs
+        ):
+            labels |= base_labels
+        return labels
+
+    # ------------------------------------------------------------------
+    def _call(self, expr: dict, func: dict, env, out: _Out) -> set[Label]:
+        spec = self.spec
+        fn = expr["fn"]
+        arg_labels = [self._expr(a, func, env, out) for a in expr["args"]]
+        kw_labels = [
+            (name, self._expr(value, func, env, out))
+            for name, value in expr["kws"]
+        ]
+        path = func_path(self.index, func)
+        rel_path = self.index.rel_path_of(func["id"])
+        loc = (expr["line"], expr["col"])
+        dotted = self._canonical_dotted(fn, func, env)
+        attr_name = fn["attr"] if fn.get("k") == "attr" else None
+
+        self._check_explicit_sinks(
+            dotted, attr_name, arg_labels, kw_labels, path, rel_path, loc, out
+        )
+        self._check_process_boundary(
+            fn, attr_name, arg_labels, kw_labels, func, path, rel_path, loc,
+            out,
+        )
+
+        # -- sources and sanitizers ------------------------------------
+        if dotted is not None and dotted in spec.source_calls:
+            return {("SRC", rel_path, expr["line"])}
+        if attr_name is not None and attr_name in spec.source_methods:
+            self._expr(fn["base"], func, env, out)
+            return {("SRC", rel_path, expr["line"])}
+        if dotted is not None and dotted in spec.sanitize_calls:
+            return set()
+
+        resolved = self.resolver.resolve_call(
+            fn, func, self.types.get(func["id"], {})
+        )
+        if resolved is not None and resolved[0] == "func":
+            result = self._apply_summary(
+                resolved[1], bool(resolved[2]), arg_labels, kw_labels,
+                path, rel_path, loc, out,
+            )
+            self._check_region(resolved[1], arg_labels, kw_labels, result,
+                               func, path, rel_path, loc, out)
+            return result
+        if resolved is not None and resolved[0] == "class":
+            result: set[Label] = set()
+            for labels in arg_labels:
+                result |= labels
+            for _, labels in kw_labels:
+                result |= labels
+            init = self.index.find_method(resolved[1], "__init__")
+            if init is not None:
+                result |= self._apply_summary(
+                    init, True, arg_labels, kw_labels,
+                    path, rel_path, loc, out,
+                )
+            return result
+
+        # -- unresolved call -------------------------------------------
+        result = set()
+        if spec.propagate_unknown_calls:
+            for labels in arg_labels:
+                result |= labels
+            for _, labels in kw_labels:
+                result |= labels
+        if attr_name is not None:
+            recv = self._expr(fn["base"], func, env, out)
+            if attr_name in CONTAINER_MUTATORS:
+                base = fn["base"]
+                if base.get("k") == "name" and base["id"] in env:
+                    merged: set[Label] = set()
+                    for labels in arg_labels:
+                        merged |= labels
+                    for _, labels in kw_labels:
+                        merged |= labels
+                    env[base["id"]].update(merged)
+            if recv and (
+                attr_name in spec.tainting_methods
+                or spec.receiver_default == "taint"
+            ):
+                result |= recv
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply_summary(self, callee_id: str, bound: bool, arg_labels,
+                       kw_labels, path, rel_path, loc, out: _Out):
+        callee = self.index.functions.get(callee_id)
+        if callee is None:
+            return set()
+        ret, psinks = self.summaries.get(callee_id, (frozenset(), frozenset()))
+        by_param = self._map_args(callee, bound, arg_labels, kw_labels)
+        result: set[Label] = {lb for lb in ret if isinstance(lb, tuple)}
+        for lb in ret:
+            if isinstance(lb, str):
+                result |= by_param.get(int(lb[1:]), set())
+        # A call made from a sanctioned file is a blessed flow: the
+        # allowlisted pinning point may hand its view to the samplers
+        # and tables it owns (their lifetime is bounded by its own).
+        if not self.spec.sanctioned(rel_path):
+            for index, site in psinks:
+                labels = by_param.get(index, set())
+                if labels:
+                    self._record(labels, site, out)
+        return result
+
+    @staticmethod
+    def _map_args(callee: dict, bound: bool, arg_labels, kw_labels):
+        params = list(callee["params"]) + list(callee.get("kwonly", ()))
+        offset = 1 if bound and params else 0
+        by_param: dict[int, set[Label]] = {}
+        for j, labels in enumerate(arg_labels):
+            index = j + offset
+            if index < len(params):
+                by_param[index] = set(labels)
+        for name, labels in kw_labels:
+            if name in params:
+                by_param.setdefault(params.index(name), set()).update(labels)
+            elif name is None:
+                # **kwargs splat: conservatively reach every parameter.
+                for index in range(len(params)):
+                    by_param.setdefault(index, set()).update(labels)
+        return by_param
+
+    # ------------------------------------------------------------------
+    def _check_explicit_sinks(self, dotted, attr_name, arg_labels,
+                              kw_labels, path, rel_path, loc, out: _Out):
+        spec = self.spec
+        if spec.sanctioned(rel_path):
+            return
+        positions = None
+        matched = False
+        if dotted is not None and dotted in spec.sink_calls:
+            positions = spec.sink_calls[dotted]
+            matched = True
+        elif attr_name is not None and attr_name in spec.sink_methods:
+            positions = spec.sink_methods[attr_name]
+            matched = True
+        if not matched:
+            return
+        site = (path, rel_path, loc[0], loc[1], "sink-call")
+        for j, labels in enumerate(arg_labels):
+            if positions is not None and j not in positions:
+                continue
+            if labels:
+                self._record(labels, site, out)
+        if positions is None:
+            for _, labels in kw_labels:
+                if labels:
+                    self._record(labels, site, out)
+
+    def _pool_receiver(self, fn: dict, func: dict) -> bool:
+        """Does a ``recv.run/map/submit(...)`` receiver look like a pool?
+
+        The syntactic RK301/RK302 can use the bare method-name
+        heuristic because they only fire on values visible at the call
+        site; the flow layer propagates taint into *every* such call,
+        so ``baseline.apply(findings)`` or ``engine.run(walkers)``
+        would otherwise count as process boundaries.  Gate on the
+        receiver: its name mentions pool/executor, its resolved local
+        type is a ``*Pool``/``*Executor`` class, or it is the
+        ``multiprocessing``/``concurrent.futures`` module itself.
+        """
+        base = fn["base"]
+        root, chain = _chain_of(base)
+        if root is None:
+            return False
+        parts = [p.lower() for p in [root, *chain] if p != "self"]
+        if any("pool" in p or "executor" in p for p in parts):
+            return True
+        types = self.types.get(func["id"], {})
+        ref = types.get(root)
+        if ref is not None and not chain:
+            name = ref[1].lower()
+            if "pool" in name or name.endswith("executor"):
+                return True
+        module = self.index.modules.get(func["module"], {})
+        dotted = module.get("aliases", {}).get(root, root)
+        return dotted.split(".")[0] in ("multiprocessing", "concurrent")
+
+    def _check_process_boundary(self, fn, attr_name, arg_labels, kw_labels,
+                                func, path, rel_path, loc, out: _Out):
+        spec = self.spec
+        if spec.process_boundary is None or spec.sanctioned(rel_path):
+            return
+        site = (path, rel_path, loc[0], loc[1], "process-boundary")
+        if (
+            attr_name in CROSS_PROCESS_METHODS
+            and arg_labels
+            and self._pool_receiver(fn, func)
+        ):
+            start = 0 if spec.process_boundary == "all" else 1
+            for labels in arg_labels[start:]:
+                if labels:
+                    self._record(labels, site, out)
+            for name, labels in kw_labels:
+                if name in PARENT_SIDE_KWARGS:
+                    continue
+                if labels:
+                    self._record(labels, site, out)
+            return
+        name = attr_name
+        if name is None and fn.get("k") == "name":
+            name = fn["id"]
+        if name is not None and name.endswith("Process"):
+            for kw, labels in kw_labels:
+                if kw in ("target", "args", "kwargs") and labels:
+                    self._record(labels, site, out)
+
+    def _check_region(self, callee_id, arg_labels, kw_labels, result,
+                      func, path, rel_path, loc, out: _Out):
+        spec = self.spec
+        if spec.region is None:
+            return
+        packages, allow = spec.region
+        caller_in = _in_region(rel_path, packages) and not _allowed(
+            rel_path, allow
+        )
+        callee_rel = (
+            self.index.rel_path_of(callee_id) if callee_id is not None else ""
+        )
+        callee_in = (
+            callee_id is not None
+            and _in_region(callee_rel, packages)
+            and not _allowed(callee_rel, allow)
+        )
+        if callee_in and not caller_in:
+            # (a) tainted value handed into simulated-time code from
+            # outside the region (or from an allowlisted file: the
+            # allowlist exempts the *read*, never the flow).  Hops
+            # within the region are not re-flagged — the entry hop
+            # already was.
+            site = (path, rel_path, loc[0], loc[1], "region-entry")
+            for labels in arg_labels:
+                if labels:
+                    self._record(labels, site, out)
+            for _, labels in kw_labels:
+                if labels:
+                    self._record(labels, site, out)
+        elif caller_in and any(isinstance(lb, tuple) for lb in result):
+            # (b) simulated-time code consuming a helper's wall-clock
+            # return value (the direct primitive call is RK201's job).
+            site = (path, rel_path, loc[0], loc[1], "region-consume")
+            self._record({lb for lb in result if isinstance(lb, tuple)},
+                         site, out)
+
+    # ------------------------------------------------------------------
+    def _canonical_dotted(self, fn: dict, func: dict, env) -> str | None:
+        root, chain = _chain_of(fn)
+        if root is None:
+            return None
+        params = set(func["params"]) | set(func.get("kwonly", ()))
+        if root in env or root in params or root in func.get("localfuncs", {}):
+            return None
+        module = self.index.modules.get(func["module"], {})
+        resolved_root = module.get("aliases", {}).get(root, root)
+        return ".".join([resolved_root] + chain)
+
+
+def _chain_of(expr: dict) -> tuple[str | None, list[str]]:
+    chain: list[str] = []
+    while expr.get("k") == "attr":
+        chain.append(expr["attr"])
+        expr = expr["base"]
+    if expr.get("k") != "name":
+        return None, []
+    chain.reverse()
+    return expr["id"], chain
+
+
+def _in_region(rel_path: str, packages: tuple[str, ...]) -> bool:
+    parts = rel_path.split("/")
+    return any(pkg in parts for pkg in packages)
+
+
+def _allowed(rel_path: str, allow: tuple[str, ...]) -> bool:
+    return any(rel_path.endswith(suffix) for suffix in allow)
+
+
+def func_path(index: ProjectIndex, func: dict) -> str:
+    return index.path_of(func["id"])
+
+
+def run_flow_rules(
+    index: ProjectIndex, specs: tuple[FlowSpec, ...]
+) -> list[Finding]:
+    """Run every flow rule over one shared index; findings sorted."""
+    resolver = CallResolver(index)
+    types_cache = {
+        fid: resolver.local_types(fn) for fid, fn in index.functions.items()
+    }
+    findings: list[Finding] = []
+    for spec in specs:
+        analysis = TaintAnalysis(index, spec, resolver=resolver,
+                                 types_cache=types_cache)
+        findings.extend(analysis.run())
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    return findings

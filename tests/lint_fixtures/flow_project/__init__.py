@@ -1,0 +1,8 @@
+"""Miniature package for ProjectIndex/call-graph unit tests.
+
+Exercises every aliasing shape the index must resolve: a relative
+import, an ``import ... as`` rename, a ``from x import y as z``, and
+this re-export (``flow_project.Engine`` → ``flow_project.core.Engine``).
+"""
+
+from .core import Engine

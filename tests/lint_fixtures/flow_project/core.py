@@ -1,0 +1,18 @@
+"""Class hierarchy: Engine.run resolves helper() through its base."""
+
+from flow_project import util as helpers_mod
+
+
+class Base:
+    def helper(self):
+        return helpers_mod.shared_constant()
+
+    def run(self):
+        return self.helper()
+
+
+class Engine(Base):
+    def helper(self):
+        # Overrides Base.helper; MRO resolution must pick this one for
+        # Engine instances.
+        return 42

@@ -1,0 +1,16 @@
+"""Call sites through every alias shape."""
+
+from flow_project import Engine as Eng
+
+
+def shared_constant():
+    return 7
+
+
+def build_and_run():
+    engine = Eng()
+    return engine.run()
+
+
+def calls_through_package_reexport():
+    return Eng().run()

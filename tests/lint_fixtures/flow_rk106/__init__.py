@@ -1,0 +1,1 @@
+"""RK106 fixture package: epoch-snapshot views escaping their epoch."""

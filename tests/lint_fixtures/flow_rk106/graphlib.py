@@ -1,0 +1,22 @@
+"""A stand-in dynamic graph whose ``snapshot()`` returns an epoch
+view, plus a factory that launders the view through a return value —
+the indirection the syntactic layer cannot follow."""
+
+
+class EpochView:
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.num_edges = 0
+
+
+class DynamicGraph:
+    def __init__(self):
+        self._epoch = 0
+
+    def snapshot(self):
+        return EpochView(self._epoch)
+
+
+def make_view(graph: DynamicGraph):
+    # Factory indirection: the view is created here, stored elsewhere.
+    return graph.snapshot()

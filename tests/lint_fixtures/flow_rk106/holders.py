@@ -1,0 +1,29 @@
+"""Escape sites: stores that let a snapshot view outlive its epoch."""
+
+from flow_rk106.graphlib import DynamicGraph, make_view
+
+_PINNED = None
+
+
+class ViewCache:
+    def __init__(self, graph: DynamicGraph):
+        self.view = make_view(graph)  # expect: RK106
+
+
+def pin_globally(graph: DynamicGraph):
+    global _PINNED
+    _PINNED = graph.snapshot()  # expect: RK106
+
+
+def walk_one_epoch(graph: DynamicGraph):
+    # Negative: a view held in a local for one walk is the sanctioned
+    # pattern — it dies with the frame.
+    view = make_view(graph)
+    return view.num_edges
+
+
+def reads_scalar_metadata(graph: DynamicGraph):
+    # Negative: scalars copied off the view carry no epoch lifetime.
+    view = graph.snapshot()
+    epoch = view.epoch
+    return epoch

@@ -1,0 +1,8 @@
+"""RK110 fixture package: RNG escape through helper indirection.
+
+The re-export below is load-bearing: ``walker.py`` imports
+``make_rng`` from the package root, so the analyzer must follow the
+``__init__`` re-export chain to see the source.
+"""
+
+from flow_rk110.helpers import make_rng

@@ -1,0 +1,37 @@
+"""Sinks: message sends and serialisation.  Every flagged line looks
+completely innocent to the per-file rules — the Generator was created
+in another module."""
+
+import pickle
+
+from flow_rk110 import make_rng
+from flow_rk110.helpers import make_rng_indirect, state_of
+
+
+class Channel:
+    def send(self, message):
+        self.last = message
+
+
+def leaks_rng_through_two_frames(channel: Channel, seed):
+    rng = make_rng_indirect(seed)
+    channel.send(rng)  # expect: RK110
+
+
+def leaks_rng_into_pickle(seed):
+    rng = make_rng(seed)
+    return pickle.dumps(rng)  # expect: RK110
+
+
+def sends_state_dict(channel: Channel, seed):
+    # Negative: the sanctioned pattern — only the picklable state dict
+    # crosses, the live Generator stays node-local.
+    rng = make_rng_indirect(seed)
+    channel.send(state_of(rng))
+
+
+def draws_locally(seed, items):
+    # Negative: creating and consuming an RNG locally is the whole
+    # point; nothing crosses a boundary.
+    rng = make_rng(seed)
+    return rng.choice(len(items))

@@ -1,0 +1,8 @@
+"""RK210 fixture package: wall-clock taint reaching simulated time.
+
+``hosttime.py`` reads the host clock (legal there — it is outside the
+``cluster`` region, so syntactic RK201 stays quiet).  The flow rule
+fires when those values *flow* into simulated-time code, in either
+direction: a cluster function consuming a helper's return value, or an
+outside caller passing a tainted argument into cluster code.
+"""

@@ -1,0 +1,14 @@
+"""Host-side timing helpers — fine on their own (this file is outside
+the simulated-time region), poisonous once their values reach it."""
+
+import time
+
+
+def now():
+    return time.perf_counter()
+
+
+def budget_seconds():
+    # Indirect: the wall-clock reading survives arithmetic and an
+    # extra frame.
+    return now() * 2.0

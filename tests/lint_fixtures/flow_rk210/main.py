@@ -1,0 +1,16 @@
+"""Outside the region: reading the clock here is fine; *handing* the
+reading into simulated-time code is the violation."""
+
+import time
+
+from flow_rk210.cluster.sim import consume, derives_from_cost_model
+
+
+def feeds_wall_clock_into_simulation():
+    started = time.monotonic()
+    return consume(started)  # expect: RK210
+
+
+def passes_clean_config(cost_model):
+    # Negative: nothing wall-clock flows in.
+    return derives_from_cost_model(cost_model)

@@ -1,0 +1,1 @@
+"""RK310 fixture package: unpicklable values reaching spawn sites."""

@@ -1,0 +1,30 @@
+"""Process-boundary call sites.  The flagged calls are exactly the
+ones the syntactic RK301/RK302 miss: the unpicklable value is hidden
+behind a variable or a helper call.  The same-line lambda stays
+RK301's finding — the two layers never double-report."""
+
+from flow_rk310.tasks import build_task_indirect, shard_ids, worker_fn
+
+
+class WorkerPool:
+    def run(self, fn, *payloads, describe=None):
+        return [fn(p) for p in payloads]
+
+
+def ships_lambda_through_two_frames(pool: WorkerPool):
+    task = build_task_indirect()
+    return pool.run(task, 1)  # expect: RK310
+
+
+def ships_open_handle(pool: WorkerPool, path):
+    handle = open(path, "r")
+    return pool.run(worker_fn, handle)  # expect: RK310
+
+
+def same_line_lambda_is_rk301s_job(pool: WorkerPool):
+    return pool.run(lambda x: x, 1)  # expect: RK301
+
+
+def ships_materialised_payload(pool: WorkerPool):
+    # Negative: module-level callable + list payload pickle fine.
+    return pool.run(worker_fn, shard_ids(3))

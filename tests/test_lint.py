@@ -19,6 +19,7 @@ from repro.errors import LintError
 from repro.lint import (
     Baseline,
     DEFAULT_RULES,
+    FLOW_RULES,
     Linter,
     LintReport,
     Severity,
@@ -196,7 +197,12 @@ class TestReportPolicy:
 
     def test_rule_catalog_lists_every_rule(self):
         ids = {row[0] for row in rule_catalog()}
-        assert ids == {rule.rule_id for rule in DEFAULT_RULES} | {"RK001"}
+        expected = (
+            {rule.rule_id for rule in DEFAULT_RULES}
+            | {spec.rule_id for spec in FLOW_RULES}
+            | {"RK001", "RK002"}
+        )
+        assert ids == expected
 
 
 class TestCli:
