@@ -26,8 +26,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.perf import (  # noqa: E402
+    OBS_OVERHEAD_LIMIT,
     STEP_ENGINE_FLOOR,
     enforce_engine_floor,
+    enforce_obs_overhead,
     format_report,
     run_perf,
     write_report,
@@ -48,6 +50,15 @@ def main(argv: list[str] | None = None) -> int:
             "fail (exit 1) if the step-centric engine falls below "
             f"{STEP_ENGINE_FLOOR:.0%} of walker-centric throughput on "
             "any workload"
+        ),
+    )
+    parser.add_argument(
+        "--enforce-obs-overhead",
+        action="store_true",
+        help=(
+            "fail (exit 1) if a disabled tracer costs more than "
+            f"{OBS_OVERHEAD_LIMIT:.0%} of node2vec steps/sec versus an "
+            "untraced run"
         ),
     )
     parser.add_argument(
@@ -80,6 +91,13 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"ENGINE FLOOR VIOLATION: {failure}", file=sys.stderr)
             return 1
         print("engine floor check passed (step-centric vs walker-centric)")
+    if args.enforce_obs_overhead:
+        failures = enforce_obs_overhead(report)
+        if failures:
+            for failure in failures:
+                print(f"OBS OVERHEAD VIOLATION: {failure}", file=sys.stderr)
+            return 1
+        print("obs overhead check passed (disabled tracer vs untraced)")
     return 0
 
 

@@ -52,7 +52,9 @@ __all__ = [
     "PERF_WORKLOADS",
     "PRE_PR_NODE2VEC_STEPS_PER_SEC",
     "STEP_ENGINE_FLOOR",
+    "OBS_OVERHEAD_LIMIT",
     "enforce_engine_floor",
+    "enforce_obs_overhead",
     "run_perf",
     "write_report",
 ]
@@ -66,6 +68,12 @@ PRE_PR_NODE2VEC_STEPS_PER_SEC = 1_867_803
 # walker-centric throughput on every workload (the CI smoke gate; 0.8
 # allows quick-mode timing noise, not a real regression).
 STEP_ENGINE_FLOOR = 0.8
+
+# A *disabled* tracer (the default state: engines hold no tracer, and
+# an attached tracer with enabled=False is detached by observe()) may
+# cost at most this fraction of node2vec steps/sec versus a run that
+# never touched the observability layer.
+OBS_OVERHEAD_LIMIT = 0.03
 
 
 @dataclass(frozen=True)
@@ -95,8 +103,15 @@ def _time_engine(
     graph, spec, num_walkers: int, walk_length: int, seed: int,
     fuse_trials: bool, repeats: int,
     engine_mode: str = "step", sampler_policy: str = "fixed",
+    tracer_factory=None,
 ) -> dict:
-    """Best-of-``repeats`` timing of one engine configuration."""
+    """Best-of-``repeats`` timing of one engine configuration.
+
+    ``tracer_factory``, when given, is called per attempt and its
+    result attached via ``engine.observe`` — the obs-overhead section
+    uses it to time the same workload with tracing absent, disabled,
+    and enabled.
+    """
     best = None
     for attempt in range(repeats):
         program = spec.make_program(graph)
@@ -109,6 +124,8 @@ def _time_engine(
             sampler_policy=sampler_policy,
         )
         engine = WalkEngine(graph, program, config, fuse_trials=fuse_trials)
+        if tracer_factory is not None:
+            engine.observe(tracer_factory())
         stats = engine.run().stats
         seconds = stats.wall_time_seconds
         rate = stats.total_steps / seconds if seconds > 0 else 0.0
@@ -165,6 +182,49 @@ def _time_updates(quick: bool, seed: int, repeats: int) -> dict:
         "seconds": round(best_seconds, 6),
         "edges_per_sec": round(best_rate, 1),
     }
+
+
+def _time_obs_overhead(quick: bool, seed: int, repeats: int) -> dict:
+    """Observability cost on the node2vec workload, three states.
+
+    * ``baseline`` — the engine never sees the obs layer;
+    * ``disabled`` — a ``Tracer(enabled=False)`` is attached (and
+      detached by ``observe``, leaving only the one-attribute guard the
+      hot loop always pays) — this is the state the <3% budget gates;
+    * ``enabled`` — full structural tracing, reported for visibility
+      but not gated (measuring costs; the off-switch must be free).
+    """
+    from repro.obs import Tracer
+
+    spec = next(s for s in paper_algorithms(seed=7) if s.name == "node2vec")
+    workload = next(w for w in PERF_WORKLOADS if w.name == "node2vec")
+    scale = _QUICK_SCALE if quick else workload.scale
+    walkers = _QUICK_WALKERS if quick else workload.num_walkers
+    length = _QUICK_LENGTH if quick else workload.walk_length
+    graph = prepare_graph(
+        workload.dataset, spec, scale=scale, weighted=False, seed=7
+    )
+
+    def timed(tracer_factory):
+        return _time_engine(
+            graph, spec, walkers, length, seed, True, repeats,
+            tracer_factory=tracer_factory,
+        )["steps_per_sec"]
+
+    baseline = timed(None)
+    disabled = timed(lambda: Tracer(enabled=False))
+    enabled = timed(lambda: Tracer())
+    entry = {
+        "workload": "node2vec",
+        "baseline_steps_per_sec": baseline,
+        "disabled_steps_per_sec": disabled,
+        "enabled_steps_per_sec": enabled,
+        "limit": OBS_OVERHEAD_LIMIT,
+    }
+    if baseline:
+        entry["disabled_overhead"] = round(1.0 - disabled / baseline, 4)
+        entry["enabled_overhead"] = round(1.0 - enabled / baseline, 4)
+    return entry
 
 
 def run_perf(
@@ -242,6 +302,7 @@ def run_perf(
             )
         report["workloads"][workload.name] = entry
     report["update_throughput"] = _time_updates(quick, seed, repeats)
+    report["obs"] = _time_obs_overhead(quick, seed, repeats)
     return report
 
 
@@ -271,6 +332,32 @@ def enforce_engine_floor(
     return failures
 
 
+def enforce_obs_overhead(
+    report: dict, limit: float | None = None
+) -> list[str]:
+    """Check the disabled-tracer path against the overhead budget.
+
+    Returns one message when the ``obs`` section's disabled-path
+    overhead exceeds ``limit`` (default: the section's recorded limit),
+    empty when it passes or the section is absent.  CI runs this so
+    the observability layer's off-switch stays effectively free.
+    """
+    section = report.get("obs")
+    if not section or "disabled_overhead" not in section:
+        return []
+    budget = section["limit"] if limit is None else limit
+    overhead = section["disabled_overhead"]
+    if overhead > budget:
+        return [
+            f"{section['workload']}: disabled-tracer path at "
+            f"{overhead:.1%} overhead vs untraced baseline "
+            f"({section['disabled_steps_per_sec']:,.0f} vs "
+            f"{section['baseline_steps_per_sec']:,.0f} steps/sec; "
+            f"budget {budget:.0%})"
+        ]
+    return []
+
+
 def write_report(report: dict, path: str | Path) -> Path:
     """Write the JSON report; returns the path written."""
     path = Path(path)
@@ -291,6 +378,14 @@ def format_report(report: dict) -> str:
             f"updates    {updates['edges_per_sec']:>12,.0f} edges/sec "
             f"({updates['updates_applied']:,} updates over "
             f"{updates['num_epochs']} epochs, {updates['graph']})"
+        )
+    obs = report.get("obs")
+    if obs and "disabled_overhead" in obs:
+        lines.append(
+            f"obs        disabled {obs['disabled_overhead']:+.1%} / "
+            f"enabled {obs['enabled_overhead']:+.1%} overhead on "
+            f"{obs['workload']} (budget {obs['limit']:.0%} on the "
+            "disabled path)"
         )
     for name, entry in report["workloads"].items():
         speedup = entry.get("fused_speedup_vs_single_trial")

@@ -58,6 +58,14 @@ from repro.errors import ReproError
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.hetero import assign_random_edge_types
 from repro.graph.io import load_edge_list
+from repro.obs import (
+    Tracer,
+    registry_from_cluster_stats,
+    registry_from_service_metrics,
+    registry_from_walk_stats,
+    to_prometheus_text,
+    write_chrome_trace,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -114,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_update_arguments(walk)
     _add_fault_arguments(walk)
+    _add_obs_arguments(walk)
 
     bench = subparsers.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument("experiment", choices=EXPERIMENTS)
@@ -155,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the graceful-degradation ladder",
     )
     serve.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(serve)
 
     lint = subparsers.add_parser(
         "lint",
@@ -269,6 +279,30 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
         "--degrade", action="store_true",
         help="re-partition a permanently dead node's vertices across "
         "survivors instead of aborting",
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``walk`` and ``serve``."""
+    obs = parser.add_argument_group(
+        "observability",
+        "span tracing and metrics export (repro.obs); tracing off "
+        "unless a flag is given — the disabled path is certified <3% "
+        "overhead by the perf harness",
+    )
+    obs.add_argument(
+        "--emit-trace", type=str, default=None, metavar="FILE",
+        help="write the run's spans as Chrome trace-event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    obs.add_argument(
+        "--emit-metrics", type=str, default=None, metavar="FILE",
+        help="write run metrics in Prometheus text format",
+    )
+    obs.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="keep per-walker hop spans only for every N-th walker id "
+        "(structural spans are always kept)",
     )
 
 
@@ -437,6 +471,11 @@ def _run_walk(args: argparse.Namespace) -> int:
     )
 
     fault_plan = _build_fault_plan(args)
+    tracer = (
+        Tracer(sample_every=max(args.trace_sample, 1))
+        if args.emit_trace is not None
+        else None
+    )
 
     print(f"graph: {graph}")
     print(f"algorithm: {program!r}")
@@ -450,13 +489,29 @@ def _run_walk(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             degrade_on_crash=args.degrade,
         )
+        engine.observe(tracer)
         result = engine.run()
         print(f"stats: {result.stats.summary()}")
         print(result.cluster.report())
     else:
-        result = WalkEngine(graph, program, config).run()
+        engine = WalkEngine(graph, program, config)
+        engine.observe(tracer)
+        result = engine.run()
         print(f"stats: {result.stats.summary()}")
     print(f"termination: {result.stats.termination}")
+    if args.emit_metrics is not None:
+        registry = registry_from_walk_stats(result.stats)
+        if args.nodes > 0:
+            registry_from_cluster_stats(result.cluster, registry)
+        with open(args.emit_metrics, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus_text(registry))
+        print(f"metrics written to {args.emit_metrics}")
+    if tracer is not None:
+        write_chrome_trace(tracer, args.emit_trace)
+        print(
+            f"trace written to {args.emit_trace} "
+            f"({len(tracer.spans)} spans; open in chrome://tracing)"
+        )
     if result.stats.graph_epoch is not None:
         print(f"graph epoch: {result.stats.graph_epoch}")
         if result.stats.maintenance is not None:
@@ -553,12 +608,18 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"service: {args.service_workers} workers, queue capacity "
         f"{args.queue_capacity}, policy {args.policy}"
     )
+    tracer = (
+        Tracer(sample_every=max(args.trace_sample, 1))
+        if args.emit_trace is not None
+        else None
+    )
     service = WalkService(
         graph,
         num_workers=args.service_workers,
         queue_capacity=args.queue_capacity,
         shed_policy=args.policy,
         degradation=None if args.no_degradation else DegradationPolicy(),
+        tracer=tracer,
     )
     tickets = []
     for index in range(args.requests):
@@ -585,6 +646,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"served={metrics.served} shed={metrics.shed} "
         f"failed={metrics.failed} exact={balanced}"
     )
+    if args.emit_metrics is not None:
+        registry = registry_from_service_metrics(metrics)
+        with open(args.emit_metrics, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus_text(registry))
+        print(f"metrics written to {args.emit_metrics}")
+    if tracer is not None:
+        write_chrome_trace(tracer, args.emit_trace)
+        print(
+            f"trace written to {args.emit_trace} "
+            f"({len(tracer.spans)} spans; open in chrome://tracing)"
+        )
     return 0 if balanced else 1
 
 

@@ -103,6 +103,34 @@ class CostModel:
             + communicate / max(self.comm_threads, 1)
         )
 
+    def stage_times(
+        self, work: NodeWork, threads: int
+    ) -> tuple[float, float, float]:
+        """Deterministic Gather/Move/Update decomposition of
+        :meth:`node_time` for the superstep timeline (repro.obs).
+
+        * **gather** — per-superstep thread-pool spin-up and chunk
+          scheduling (state fetch), the ``threads * c_thread`` term;
+        * **move** — the sampling + message-handling work that actually
+          moves walkers (compute and communicate phases);
+        * **update** — barrier entry and bookkeeping.
+
+        The three stages sum exactly to :meth:`node_time`, so a trace
+        viewer's stage slices tile each node's compute span; being a
+        pure function of the work counts, the decomposition replays
+        bit-identically (no clock is involved).
+        """
+        compute_threads = max(threads - self.comm_threads, 1)
+        compute = work.trials * self.trial_cost + (
+            work.pd_evaluations * self.pd_cost
+        )
+        gather = threads * self.thread_overhead
+        move = compute / compute_threads + (
+            work.messages * self.message_cost / max(self.comm_threads, 1)
+        )
+        update = self.barrier_cost
+        return (gather, move, update)
+
     def compute_time(self, work: NodeWork, threads: int) -> float:
         """Compute-phase share of :meth:`node_time` — the part a
         speculative buddy re-executes for a suspected node (messages

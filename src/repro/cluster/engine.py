@@ -313,6 +313,22 @@ class DistributedWalkEngine(WalkEngine):
             self._stepper = None
 
     # ------------------------------------------------------------------
+    # The cluster's timeline is simulated: stage spans are *declared*
+    # from the cost model via Tracer.record_span (never measured), so
+    # tracing performs no clock reads inside repro.cluster (RK201/
+    # RK206/RK210) and a degraded run's trace replays bit-identically.
+    _obs_stages = False
+    _obs_track = "cluster"
+
+    def observe(self, tracer) -> None:
+        super().observe(tracer)
+        # Per-walker span context: walker id -> last hop span id.  The
+        # context rides each WALKER_MIGRATE so a walker's cross-node
+        # hops chain into one causal trace (trace id "walker-<id>").
+        self._obs_walker_spans: dict[int, int] = {}
+        self._obs_sim_start = 0.0
+        self._obs_net_snapshot = self.network.totals_snapshot()
+
     def attach_tracer(self, tracer) -> None:
         """Distributed seam: additionally trace message deliveries.
 
@@ -360,6 +376,18 @@ class DistributedWalkEngine(WalkEngine):
         self.cluster.simulated_seconds = float(
             np.sum(self.cluster.superstep_times)
         ) + self.cluster.recovery.recovery_seconds
+        if self._obs is not None:
+            self._obs.record_span(
+                "cluster.run",
+                ts=0.0,
+                dur=self.cluster.simulated_seconds,
+                track=self._obs_track,
+                args={
+                    "nodes": self.num_nodes,
+                    "supersteps": self.cluster.num_supersteps,
+                    "status": status,
+                },
+            )
         paths = None
         if self._recorder is not None:
             if self._streaming:
@@ -392,6 +420,14 @@ class DistributedWalkEngine(WalkEngine):
         self._node_trials[:] = 0
         self._node_pd[:] = 0
         self._node_msgs[:] = 0
+        if self._obs is not None:
+            # Where this superstep starts on the simulated timeline.
+            # Recomputed from the authoritative lists so checkpoint
+            # rollbacks (which rewind superstep_times) and recovery
+            # charges stay consistent automatically.
+            self._obs_sim_start = float(
+                np.sum(self.cluster.superstep_times)
+            ) + self.cluster.recovery.recovery_seconds
         if self.rebalancer is not None:
             # Act on last barrier's suspicion before this superstep's
             # work is assigned: migrated walkers compute on their new
@@ -444,7 +480,45 @@ class DistributedWalkEngine(WalkEngine):
         np.add.at(self._node_msgs, old_owners, 1)
         np.add.at(self._node_msgs, new_owners, 1)
         self.stats.messages_sent += migrated
+        obs = self._obs
+        if obs is not None:
+            self._emit_hop_spans(movers, targets, old_owners, new_owners)
         super()._commit_moves(movers, targets)
+
+    def _emit_hop_spans(
+        self,
+        movers: np.ndarray,
+        targets: np.ndarray,
+        old_owners: np.ndarray,
+        new_owners: np.ndarray,
+    ) -> None:
+        """Span-context propagation across cluster messages: each
+        sampled walker's cross-node migration becomes a span on the
+        destination node's track, parented to the walker's previous
+        hop and sharing its ``walker-<id>`` trace id.  Observation
+        only — no RNG, no clock, no effect on the walk."""
+        obs = self._obs
+        cost = self.cost_model.message_cost
+        for idx in np.nonzero(old_owners != new_owners)[0]:
+            walker_id = int(movers[idx])
+            if not obs.sampled(walker_id):
+                continue
+            span_id = obs.record_span(
+                "walker.hop",
+                ts=self._obs_sim_start,
+                dur=cost,
+                track=f"node{int(new_owners[idx])}",
+                category="walker",
+                parent_id=self._obs_walker_spans.get(walker_id),
+                trace_id=f"walker-{walker_id}",
+                args={
+                    "walker": walker_id,
+                    "src_node": int(old_owners[idx]),
+                    "dst_node": int(new_owners[idx]),
+                    "vertex": int(targets[idx]),
+                },
+            )
+            self._obs_walker_spans[walker_id] = span_id
 
     def _run_guard(self, ids: np.ndarray) -> None:
         """The zero-mass guard charges its full-scan Pd evaluations to
@@ -532,14 +606,119 @@ class DistributedWalkEngine(WalkEngine):
         barrier = float(effective.max()) if effective.size else 0.0
         self.cluster.superstep_times.append(barrier + retry_latency)
         self._executed_supersteps += 1
+        checkpoint_time = 0.0
         if (
             self.checkpoint_every is not None
             and self.stats.iterations % self.checkpoint_every == 0
         ):
             self._take_checkpoint()
             # The checkpoint is taken inside the barrier it follows.
-            self.cluster.superstep_times[-1] += self.cost_model.checkpoint_time(
+            checkpoint_time = self.cost_model.checkpoint_time(
                 self.walkers.num_walkers
+            )
+            self.cluster.superstep_times[-1] += checkpoint_time
+        if self._obs is not None:
+            self._emit_superstep_spans(
+                node_ids, works, threads, times,
+                barrier, retry_latency, checkpoint_time,
+            )
+
+    def _emit_superstep_spans(
+        self,
+        node_ids: list[int],
+        works: list[NodeWork],
+        threads: list[int],
+        times: np.ndarray,
+        barrier: float,
+        retry_latency: float,
+        checkpoint_time: float,
+    ) -> None:
+        """Declare this superstep on the simulated timeline.
+
+        One superstep span on the ``cluster`` track; per alive node a
+        compute span on its ``node<i>`` track whose Gather/Move/Update
+        stage children tile it exactly (cost-model decomposition, see
+        :meth:`CostModel.stage_times`); a message-flush span covering
+        the barrier's communication tail; and a checkpoint span when
+        one was taken.  Everything is a pure function of simulator
+        state — zero clock reads, so traces replay bit-identically.
+        """
+        obs = self._obs
+        start = self._obs_sim_start
+        total = self.cluster.superstep_times[-1]
+        superstep_id = obs.record_span(
+            "superstep",
+            ts=start,
+            dur=total,
+            track=self._obs_track,
+            args={
+                "iteration": self.stats.iterations,
+                "active": int(self.stats.active_per_iteration[-1]),
+                "barrier": barrier,
+            },
+        )
+        for node, work, node_threads, node_time in zip(
+            node_ids, works, threads, times
+        ):
+            track = f"node{node}"
+            compute_id = obs.record_span(
+                "node.compute",
+                ts=start,
+                dur=float(node_time),
+                track=track,
+                parent_id=superstep_id,
+                args={
+                    "node": node,
+                    "threads": node_threads,
+                    "trials": work.trials,
+                    "pd_evaluations": work.pd_evaluations,
+                    "messages": work.messages,
+                    "active_walkers": work.active_walkers,
+                },
+            )
+            stages = self.cost_model.stage_times(work, node_threads)
+            stage_sum = sum(stages)
+            # Slowdown factors stretched node_time uniformly; scale the
+            # stages so they still tile the compute span.
+            scale = float(node_time) / stage_sum if stage_sum > 0 else 0.0
+            cursor = start
+            for stage_name, stage_time in zip(
+                ("stage.gather", "stage.move", "stage.update"), stages
+            ):
+                dur = stage_time * scale
+                obs.record_span(
+                    stage_name,
+                    ts=cursor,
+                    dur=dur,
+                    track=track,
+                    parent_id=compute_id,
+                )
+                cursor += dur
+        messages, message_bytes, local = self.network.totals_snapshot()
+        last = self._obs_net_snapshot
+        self._obs_net_snapshot = (messages, message_bytes, local)
+        obs.record_span(
+            "message.flush",
+            ts=start + barrier,
+            dur=retry_latency,
+            track=self._obs_track,
+            category="network",
+            parent_id=superstep_id,
+            args={
+                "messages": messages - last[0],
+                "bytes": message_bytes - last[1],
+                "local_deliveries": local - last[2],
+            },
+        )
+        if checkpoint_time > 0.0:
+            obs.record_span(
+                "checkpoint",
+                ts=start + barrier + retry_latency,
+                dur=checkpoint_time,
+                track=self._obs_track,
+                category="recovery",
+                parent_id=superstep_id,
+                args={"walkers": self.walkers.num_walkers},
             )
 
     # ------------------------------------------------------------------

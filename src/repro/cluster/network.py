@@ -284,6 +284,23 @@ class Network:
             for kind, counts in self._messages.items()
         )
 
+    def totals_snapshot(self) -> tuple[int, int, int]:
+        """``(remote_messages, bytes, local_deliveries)`` as one tuple —
+        the observability layer diffs two snapshots to attribute
+        message traffic to the superstep between them."""
+        return (
+            self.total_messages(),
+            self.total_bytes(),
+            self.local_deliveries(),
+        )
+
+    def per_kind_totals(self) -> dict[str, int]:
+        """Remote-message count per :class:`MessageKind` name (for
+        metric labels; deterministic key order)."""
+        return {
+            kind.name: self.total_messages(kind) for kind in MessageKind
+        }
+
     def sent_by_node(self) -> np.ndarray:
         """Remote messages sent per node (row sums + scatters)."""
         total = self.matrix().sum(axis=1)

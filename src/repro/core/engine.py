@@ -249,12 +249,45 @@ class WalkEngine:
         self._stepper = (
             StepExecutor(self) if self.engine_mode == "step" else None
         )
+        # Observability seam (repro.obs): no tracer by default, so the
+        # hot loop pays one attribute check per guard site.  `_obs`
+        # carries run/superstep spans; `_stage_obs` carries the
+        # Gather/Move/Update stage spans and is left None by engines
+        # that keep their own timeline (the cluster simulator declares
+        # stage spans in simulated time instead of measuring them).
+        self._obs = None
+        self._stage_obs = None
         self.stats.graph_epoch = self.graph_epoch
         if snapshot is not None:
             # Live reference: the owning DynamicGraph keeps accumulating
             # verification/fallback counters into the same object.
             self.stats.maintenance = snapshot.maintenance
         self.stats.init_time_seconds = time.perf_counter() - init_start
+
+    # Measured stage spans use the injected wall clock; the cluster
+    # engine overrides this to False and declares its stages in
+    # simulated time (docs/INTERNALS.md section 16).
+    _obs_stages = True
+    # Timeline row this engine's spans land on.
+    _obs_track = "engine"
+
+    def observe(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (or detach with ``None``).
+
+        Duck-typed like :meth:`attach_tracer` so the core engine needs
+        no obs import.  A tracer with ``enabled=False`` — the hard
+        off-switch — is treated as absent, which keeps the disabled
+        path at one ``is None`` check per emission site (the perf
+        harness certifies <3% steps/sec overhead).  Tracing is
+        observation only: it consumes no randomness and never feeds
+        back into the walk.
+        """
+        if tracer is None or not getattr(tracer, "enabled", False):
+            self._obs = None
+            self._stage_obs = None
+            return
+        self._obs = tracer
+        self._stage_obs = tracer if self._obs_stages else None
 
     # ------------------------------------------------------------------
     def attach_tracer(self, tracer) -> None:
@@ -327,13 +360,44 @@ class WalkEngine:
         loop_start = time.perf_counter()
         executed = 0
         status = "complete"
-        while self.walkers.num_active:
-            stop = self._should_stop(executed, max_iterations, deadline, cancel)
-            if stop is not None:
-                status = stop
-                break
-            self._iteration()
-            executed += 1
+        obs = self._obs
+        if obs is None:
+            while self.walkers.num_active:
+                stop = self._should_stop(
+                    executed, max_iterations, deadline, cancel
+                )
+                if stop is not None:
+                    status = stop
+                    break
+                self._iteration()
+                executed += 1
+        else:
+            with obs.span(
+                "engine.run",
+                track=self._obs_track,
+                args={"mode": self.engine_mode},
+            ) as run_handle:
+                while self.walkers.num_active:
+                    stop = self._should_stop(
+                        executed, max_iterations, deadline, cancel
+                    )
+                    if stop is not None:
+                        status = stop
+                        break
+                    with obs.span(
+                        "superstep",
+                        track=self._obs_track,
+                        args={"iteration": self.stats.iterations},
+                    ) as step_handle:
+                        self._iteration()
+                        if step_handle is not None:
+                            step_handle.args["active"] = int(
+                                self.stats.active_per_iteration[-1]
+                            )
+                    executed += 1
+                if run_handle is not None:
+                    run_handle.args["status"] = status
+                    run_handle.args["iterations"] = executed
         self.stats.wall_time_seconds += time.perf_counter() - loop_start
         paths = None
         if self._recorder is not None:
@@ -355,16 +419,41 @@ class WalkEngine:
         self.stats.active_per_iteration.append(active.size)
         self.stats.iterations += 1
 
-        survivors = self._apply_extension_component(active)
-        if survivors.size == 0:
-            return
-        survivors = self._apply_teleports(survivors)
+        obs = self._stage_obs
+        if obs is None:
+            survivors = self._advance_walkers(active)
+        else:
+            # "Update" in the ThunderRW staging: advance walker state —
+            # termination checks, step-limit bookkeeping, teleports.
+            with obs.span(
+                "stage.update",
+                track=self._obs_track,
+                args={"active": int(active.size)},
+            ):
+                survivors = self._advance_walkers(active)
         if survivors.size == 0:
             return
 
         if self._stepper is not None:
             self._stepper.run_iteration(survivors)
-        elif self.sync_mode == "trial":
+        elif obs is None:
+            self._move_walkers(survivors)
+        else:
+            with obs.span("stage.move", track=self._obs_track):
+                self._move_walkers(survivors)
+        self._flush_streaming(active)
+
+    def _advance_walkers(self, active: np.ndarray) -> np.ndarray:
+        """Update stage: termination/teleport bookkeeping before the
+        sampling rounds; returns the walkers still in play."""
+        survivors = self._apply_extension_component(active)
+        if survivors.size == 0:
+            return survivors
+        return self._apply_teleports(survivors)
+
+    def _move_walkers(self, survivors: np.ndarray) -> None:
+        """Move stage of the walker-centric reference loop."""
+        if self.sync_mode == "trial":
             self._attempt_once(survivors)
         else:
             # Lockstep: every surviving walker moves (or is terminated
@@ -373,7 +462,6 @@ class WalkEngine:
             while pending.size:
                 moved = self._attempt_once(pending)
                 pending = pending[~moved]
-        self._flush_streaming(active)
 
     def _flush_streaming(self, active: np.ndarray) -> None:
         """Spill the sequences of walkers that died this iteration."""

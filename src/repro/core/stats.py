@@ -9,6 +9,9 @@ engine in this repository, so benchmarks can print either.
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -107,6 +110,18 @@ class WalkStats:
         )
 
 
+# Unique identity per ServiceMetrics instance so merges are
+# idempotent.  The pid prefix keeps ids collision-free when deltas are
+# built inside SupervisedPool worker processes (each child restarts
+# the counter at 1).
+_SOURCE_COUNTER = itertools.count(1)
+_MERGE_LOCK = threading.Lock()
+
+
+def _next_metrics_source() -> str:
+    return f"{os.getpid()}-{next(_SOURCE_COUNTER)}"
+
+
 @dataclass
 class ServiceMetrics:
     """Accounting of the overload-robust serving layer.
@@ -160,10 +175,73 @@ class ServiceMetrics:
     epochs_committed: int = 0
     shed_reasons: dict[str, int] = field(default_factory=dict)
     latencies_seconds: list[float] = field(default_factory=list)
+    # Merge identity: every instance is a unique source; an aggregate
+    # remembers which sources it has absorbed so re-delivering the same
+    # shard delta (SupervisedPool retries, duplicated result messages)
+    # cannot double-count.
+    source_id: str = field(default_factory=_next_metrics_source)
+    merged_sources: set[str] = field(default_factory=set)
+
+    # Additive counters folded by merge(); peak gauges and reason maps
+    # are handled separately.
+    _ADDITIVE_FIELDS = (
+        "submitted",
+        "admitted",
+        "served",
+        "failed",
+        "degraded",
+        "deadline_hits",
+        "distributed_runs",
+        "straggler_suspicions",
+        "walkers_rebalanced",
+        "speculative_wins",
+        "updates_applied",
+        "epochs_committed",
+    )
 
     @property
     def resolved(self) -> int:
         return self.served + self.shed + self.failed
+
+    def merge(self, other: "ServiceMetrics") -> bool:
+        """Fold ``other`` into this aggregate, exactly once.
+
+        Idempotent and thread-safe: every :class:`ServiceMetrics`
+        carries a unique ``source_id``, and an aggregate refuses a
+        source it has absorbed before *or whose own absorbed set
+        overlaps anything this aggregate already counted* — so a shard
+        delta re-delivered after a SupervisedPool retry, the same
+        snapshot merged concurrently from two threads, and a relayed
+        aggregate that re-packages an already-counted shard all count
+        once (the overlapping relay is refused whole; merge topology
+        should be a tree, with each delta shipped to exactly one
+        aggregate).  Returns ``True`` if ``other`` was absorbed,
+        ``False`` if it was a duplicate.
+        """
+        if other is self:
+            return False
+        with _MERGE_LOCK:
+            if (
+                other.source_id == self.source_id
+                or other.source_id in self.merged_sources
+                or self.source_id in other.merged_sources
+                or not self.merged_sources.isdisjoint(other.merged_sources)
+            ):
+                return False
+            self.merged_sources.add(other.source_id)
+            self.merged_sources |= other.merged_sources
+            for name in self._ADDITIVE_FIELDS:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            self.shed += other.shed
+            for reason, count in other.shed_reasons.items():
+                self.shed_reasons[reason] = (
+                    self.shed_reasons.get(reason, 0) + count
+                )
+            self.queue_depth_peak = max(
+                self.queue_depth_peak, other.queue_depth_peak
+            )
+            self.latencies_seconds.extend(other.latencies_seconds)
+        return True
 
     def record_shed(self, reason: str) -> None:
         self.shed += 1

@@ -129,6 +129,26 @@ class StepExecutor:
         rejected walker has not moved.
         """
         engine = self.engine
+        obs = engine._stage_obs
+        if obs is None:
+            ctx = self._gather(survivors)
+        else:
+            with obs.span(
+                "stage.gather",
+                track=engine._obs_track,
+                args={"lanes": int(survivors.size)},
+            ):
+                ctx = self._gather(survivors)
+        if obs is None:
+            self._move(ctx)
+        else:
+            with obs.span("stage.move", track=engine._obs_track):
+                self._move(ctx)
+
+    def _gather(self, survivors: np.ndarray) -> GatherContext:
+        """Gather stage: fetch per-lane vertex state once per superstep
+        (plus the occasional group-size telemetry sample)."""
+        engine = self.engine
         ctx = gather_stage(
             engine.tables,
             engine.walkers,
@@ -142,6 +162,12 @@ class StepExecutor:
             if iteration == 1 or iteration % GROUP_SAMPLE_EVERY == 0:
                 counts = np.bincount(ctx.vertices)
                 engine.stats.sampler.record_group_sizes(counts[counts > 0])
+        return ctx
+
+    def _move(self, ctx: GatherContext) -> None:
+        """Move stage: sampling rounds until the superstep's pacing is
+        satisfied (one round in trial mode, drain in step mode)."""
+        engine = self.engine
         if engine.sync_mode == "trial":
             self._round(ctx)
             return

@@ -109,6 +109,12 @@ class WorkerError(ServiceError):
         self.worker_traceback = worker_traceback
 
 
+class ObsError(ReproError):
+    """Raised by the observability layer (``repro.obs``) for metric
+    type/name conflicts, histogram bucket mismatches on merge, and
+    malformed tracer usage."""
+
+
 class LintError(ReproError):
     """Raised by the static analyzer's infrastructure (not by rule
     findings): unreadable source or baseline files, malformed

@@ -52,6 +52,7 @@ from repro.lint.rules_generic import (
     SetIterationRule,
 )
 from repro.lint.rules_csr import CsrMutationRule
+from repro.lint.rules_obs import SimClockTracerRule
 from repro.lint.rules_process import NonModuleCallableRule, UnpicklablePayloadRule
 from repro.lint.rules_retry import FixedRetryBackoffRule
 from repro.lint.rules_rng import (
@@ -68,6 +69,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     UnseededGeneratorRule,
     LegacyNumpyRandomRule,
     WallClockRule,
+    SimClockTracerRule,
     CsrMutationRule,
     FixedRetryBackoffRule,
     NonModuleCallableRule,

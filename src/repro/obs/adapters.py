@@ -1,0 +1,272 @@
+"""Adapters: existing stat objects → :class:`MetricsRegistry`.
+
+`WalkStats`, `ServiceMetrics`, and `ClusterStats` keep their public
+fields (every test and report that reads them is untouched); the
+adapters project them into the registry's common model so one exporter
+stack serves all three.  Each adapter takes an optional registry (to
+accumulate several sources) and optional labels (to keep per-shard or
+per-request series apart while staying mergeable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import (
+    ACTIVE_WALKER_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    SUPERSTEP_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.engine import ClusterStats
+    from ..core.stats import ServiceMetrics, WalkStats
+
+__all__ = [
+    "registry_from_walk_stats",
+    "registry_from_service_metrics",
+    "registry_from_cluster_stats",
+]
+
+
+def registry_from_walk_stats(
+    stats: "WalkStats",
+    registry: MetricsRegistry | None = None,
+    **labels: str,
+) -> MetricsRegistry:
+    """Project one engine run's :class:`WalkStats` into a registry."""
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.counter(
+        "walk_steps", "successful walker moves", **labels
+    ).inc(stats.total_steps)
+    reg.counter(
+        "walk_iterations", "engine supersteps executed", **labels
+    ).inc(stats.iterations)
+    reg.counter("walk_teleports", "teleport moves", **labels).inc(
+        stats.teleports
+    )
+    reg.counter(
+        "walk_messages_sent", "walker/query messages sent", **labels
+    ).inc(stats.messages_sent)
+    reg.counter(
+        "walk_full_scan_evaluations",
+        "Pd evaluations spent in zero-mass scans",
+        **labels,
+    ).inc(stats.full_scan_evaluations)
+    counters = stats.counters
+    reg.counter(
+        "walk_sampling_trials", "rejection-sampling trials", **labels
+    ).inc(counters.trials)
+    reg.counter(
+        "walk_pd_evaluations",
+        "dynamic-component evaluations",
+        **labels,
+    ).inc(counters.pd_evaluations)
+    reg.counter(
+        "walk_pre_accepts", "lower-bound pre-accepted trials", **labels
+    ).inc(counters.pre_accepts)
+    for reason, count in (
+        ("step_limit", stats.termination.by_step_limit),
+        ("probability", stats.termination.by_probability),
+        ("dead_end", stats.termination.by_dead_end),
+    ):
+        reg.counter(
+            "walk_terminations",
+            "walker terminations by cause",
+            reason=reason,
+            **labels,
+        ).inc(count)
+    reg.counter(
+        "walk_wall_seconds",
+        "wall-clock seconds in the walk loop",
+        **labels,
+    ).inc(stats.wall_time_seconds)
+    reg.counter(
+        "walk_init_seconds",
+        "sampler/walker initialisation seconds",
+        **labels,
+    ).inc(stats.init_time_seconds)
+    active = reg.histogram(
+        "walk_active_walkers",
+        "active walkers entering each superstep (paper Fig. 5)",
+        boundaries=ACTIVE_WALKER_BUCKETS,
+        **labels,
+    )
+    for count in stats.active_per_iteration:
+        active.observe(float(count))
+    if stats.graph_epoch is not None:
+        reg.gauge(
+            "walk_graph_epoch", "pinned dynamic-graph epoch", **labels
+        ).set(stats.graph_epoch)
+    if stats.maintenance is not None:
+        reg.counter(
+            "walk_sampler_epochs_maintained",
+            "epochs whose tables were produced incrementally",
+            **labels,
+        ).inc(stats.maintenance.epochs_maintained)
+        reg.counter(
+            "walk_sampler_full_rebuilds",
+            "sampler table builds that ran from scratch",
+            **labels,
+        ).inc(stats.maintenance.full_rebuilds)
+    return reg
+
+
+def registry_from_service_metrics(
+    metrics: "ServiceMetrics",
+    registry: MetricsRegistry | None = None,
+    **labels: str,
+) -> MetricsRegistry:
+    """Project the serving layer's accounting into a registry.  The
+    conservation law survives projection:
+    ``service_submitted_total == service_served_total +
+    service_shed_total + service_failed_total`` after a drain."""
+    reg = registry if registry is not None else MetricsRegistry()
+    for name, value, help_text in (
+        ("service_submitted", metrics.submitted, "requests offered"),
+        ("service_admitted", metrics.admitted, "requests queued"),
+        ("service_served", metrics.served, "requests answered"),
+        ("service_failed", metrics.failed, "requests that raised"),
+        ("service_degraded", metrics.degraded, "requests served degraded"),
+        (
+            "service_deadline_hits",
+            metrics.deadline_hits,
+            "served with a deadline-exceeded partial",
+        ),
+        (
+            "service_distributed_runs",
+            metrics.distributed_runs,
+            "requests executed on the cluster simulator",
+        ),
+        (
+            "service_updates_applied",
+            metrics.updates_applied,
+            "dynamic-graph updates committed",
+        ),
+    ):
+        reg.counter(name, help_text, **labels).inc(value)
+    if metrics.shed_reasons:
+        for reason, count in sorted(metrics.shed_reasons.items()):
+            reg.counter(
+                "service_shed", "requests shed by cause", reason=reason,
+                **labels,
+            ).inc(count)
+    else:
+        reg.counter(
+            "service_shed", "requests shed by cause", reason="none",
+            **labels,
+        ).inc(metrics.shed)
+    reg.gauge(
+        "service_queue_depth_peak",
+        "admission-queue high watermark",
+        **labels,
+    ).set(metrics.queue_depth_peak)
+    latency = reg.histogram(
+        "service_request_latency_seconds",
+        "submit-to-response latency",
+        boundaries=DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    )
+    for seconds in metrics.latencies_seconds:
+        latency.observe(seconds)
+    return reg
+
+
+def registry_from_cluster_stats(
+    cluster: "ClusterStats",
+    registry: MetricsRegistry | None = None,
+    **labels: str,
+) -> MetricsRegistry:
+    """Project one distributed run's :class:`ClusterStats` (simulated
+    time, per-node load, delivery/recovery bills) into a registry."""
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.gauge("cluster_nodes", "simulated cluster size", **labels).set(
+        cluster.num_nodes
+    )
+    reg.counter(
+        "cluster_supersteps", "BSP supersteps executed", **labels
+    ).inc(cluster.num_supersteps)
+    reg.counter(
+        "cluster_simulated_seconds",
+        "simulated run time (cost model)",
+        **labels,
+    ).inc(cluster.simulated_seconds)
+    times = reg.histogram(
+        "cluster_superstep_seconds",
+        "simulated per-superstep barrier times",
+        boundaries=SUPERSTEP_SECONDS_BUCKETS,
+        **labels,
+    )
+    for seconds in cluster.superstep_times:
+        times.observe(seconds)
+    if cluster.trials_per_node is not None:
+        for node, trials in enumerate(cluster.trials_per_node):
+            reg.counter(
+                "cluster_node_trials",
+                "lifetime rejection trials per node",
+                node=str(node),
+                **labels,
+            ).inc(int(trials))
+    if cluster.pd_evaluations_per_node is not None:
+        for node, evals in enumerate(cluster.pd_evaluations_per_node):
+            reg.counter(
+                "cluster_node_pd_evaluations",
+                "lifetime Pd evaluations per node",
+                node=str(node),
+                **labels,
+            ).inc(int(evals))
+    if cluster.network is not None:
+        network = cluster.network
+        reg.counter(
+            "cluster_messages", "remote messages delivered", **labels
+        ).inc(network.total_messages())
+        reg.counter(
+            "cluster_message_bytes", "remote bytes on the wire", **labels
+        ).inc(network.total_bytes())
+        reg.counter(
+            "cluster_local_deliveries",
+            "same-node walker deliveries",
+            **labels,
+        ).inc(network.local_deliveries())
+    if cluster.delivery is not None:
+        delivery = cluster.delivery
+        for name, value in (
+            ("cluster_retransmissions", delivery.retransmissions),
+            ("cluster_dedups", delivery.dedups),
+            ("cluster_injected_drops", delivery.drops),
+            ("cluster_injected_duplicates", delivery.duplicates),
+            ("cluster_injected_delays", delivery.delays),
+        ):
+            reg.counter(
+                name, "reliable-delivery accounting", **labels
+            ).inc(value)
+    recovery = cluster.recovery
+    reg.counter("cluster_crashes", "injected node crashes", **labels).inc(
+        recovery.crashes
+    )
+    reg.counter(
+        "cluster_checkpoints_taken", "recovery checkpoints", **labels
+    ).inc(recovery.checkpoints_taken)
+    reg.counter(
+        "cluster_replayed_supersteps",
+        "supersteps replayed during recovery",
+        **labels,
+    ).inc(recovery.replayed_supersteps)
+    reg.counter(
+        "cluster_recovery_seconds",
+        "simulated seconds spent recovering",
+        **labels,
+    ).inc(recovery.recovery_seconds)
+    if cluster.health is not None:
+        reg.counter(
+            "cluster_straggler_suspicions",
+            "health-monitor suspicion events",
+            **labels,
+        ).inc(cluster.health.suspect_events)
+        reg.counter(
+            "cluster_walkers_rebalanced",
+            "walkers migrated off suspects",
+            **labels,
+        ).inc(cluster.health.migrated_walkers)
+    return reg

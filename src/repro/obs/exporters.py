@@ -1,0 +1,233 @@
+"""Exporters: Prometheus text, JSON-lines, Chrome trace-event.
+
+All three are deterministic functions of their inputs — instruments
+are emitted in sorted (name, labels) order and spans in (ts, span_id)
+order — so exported artifacts from replayed simulator runs compare
+bit-for-bit (the cluster trace test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = [
+    "to_prometheus_text",
+    "to_json_lines",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = tuple(labels) + extra
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Counters get a ``_total`` suffix if they do not already carry one;
+    histograms expand to cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``, ending with the mandatory ``le="+Inf"`` bucket.
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+
+    for inst in registry.instruments():
+        if isinstance(inst, Counter):
+            name = inst.name if inst.name.endswith("_total") else (
+                inst.name + "_total"
+            )
+            if name not in seen_headers:
+                seen_headers.add(name)
+                if inst.help:
+                    lines.append(f"# HELP {name} {inst.help}")
+                lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{_format_labels(inst.labels)} "
+                f"{_format_value(inst.value)}"
+            )
+        elif isinstance(inst, Gauge):
+            if inst.name not in seen_headers:
+                seen_headers.add(inst.name)
+                if inst.help:
+                    lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# TYPE {inst.name} gauge")
+            lines.append(
+                f"{inst.name}{_format_labels(inst.labels)} "
+                f"{_format_value(inst.value)}"
+            )
+        elif isinstance(inst, Histogram):
+            if inst.name not in seen_headers:
+                seen_headers.add(inst.name)
+                if inst.help:
+                    lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# TYPE {inst.name} histogram")
+            cumulative = 0
+            for boundary, count in zip(inst.boundaries, inst.counts):
+                cumulative += count
+                le = ("le", _format_value(boundary))
+                lines.append(
+                    f"{inst.name}_bucket"
+                    f"{_format_labels(inst.labels, (le,))} {cumulative}"
+                )
+            cumulative += inst.counts[-1]
+            lines.append(
+                f"{inst.name}_bucket"
+                f'{_format_labels(inst.labels, (("le", "+Inf"),))} '
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{inst.name}_sum{_format_labels(inst.labels)} "
+                f"{_format_value(inst.sum)}"
+            )
+            lines.append(
+                f"{inst.name}_count{_format_labels(inst.labels)} "
+                f"{cumulative}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def to_json_lines(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> str:
+    """One JSON object per line: metric samples then spans."""
+    lines: list[str] = []
+    if registry is not None:
+        for inst in registry.instruments():
+            record: dict = {
+                "record": "metric",
+                "kind": inst.kind,
+                "name": inst.name,
+                "labels": dict(inst.labels),
+            }
+            if isinstance(inst, Histogram):
+                record["boundaries"] = list(inst.boundaries)
+                record["counts"] = list(inst.counts)
+                record["sum"] = inst.sum
+                record["count"] = inst.count
+            else:
+                record["value"] = inst.value
+            lines.append(json.dumps(record, sort_keys=True))
+    if tracer is not None:
+        for span in sorted(tracer.spans, key=lambda s: (s.ts, s.span_id)):
+            lines.append(
+                json.dumps(
+                    {
+                        "record": "span",
+                        "name": span.name,
+                        "ts": span.ts,
+                        "dur": span.dur,
+                        "track": span.track,
+                        "category": span.category,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "trace_id": span.trace_id,
+                        "args": span.args,
+                    },
+                    sort_keys=True,
+                )
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _track_order(spans: Iterable[Span]) -> list[str]:
+    """Tracks sorted with node tracks in numeric order first, then the
+    rest alphabetically — chrome://tracing shows rows by tid."""
+    tracks: set[str] = {s.track for s in spans}
+
+    def key(track: str):
+        if track.startswith("node") and track[4:].isdigit():
+            return (0, int(track[4:]), track)
+        return (1, 0, track)
+
+    return sorted(tracks, key=key)
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    *,
+    process_name: str = "repro",
+) -> dict:
+    """Chrome trace-event JSON (the object form with ``traceEvents``).
+
+    Each span becomes a complete event (``ph: "X"``) with microsecond
+    ``ts``/``dur``; tracks map to tids with ``thread_name`` metadata so
+    Perfetto/chrome://tracing shows one labelled row per node.  Span
+    ids and trace ids ride in ``args`` so cross-node walker hops remain
+    stitchable after export.
+    """
+    tids = {track: i for i, track in enumerate(_track_order(tracer.spans))}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in sorted(tracer.spans, key=lambda s: (s.ts, s.span_id)):
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "pid": 0,
+                "tid": tids[span.track],
+                "ts": round(span.ts * 1e6, 3),
+                "dur": round(span.dur * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: Tracer, path, *, process_name: str = "repro"
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            to_chrome_trace(tracer, process_name=process_name),
+            handle,
+            sort_keys=True,
+        )
+        handle.write("\n")

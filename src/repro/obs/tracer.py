@@ -1,0 +1,258 @@
+"""Span tracer with explicit clock injection.
+
+Two ways to put a span on the timeline:
+
+* the **measured** path — ``with tracer.span("superstep"): ...`` reads
+  the *injected* clock (``perf_counter`` by default) around the block.
+  Local engines use this.
+* the **declared** path — ``tracer.record_span(name, ts=..., dur=...)``
+  takes timestamps the caller already owns.  The cluster simulator uses
+  this exclusively with its simulated seconds, so tracing a distributed
+  run performs **zero clock reads** inside ``repro.cluster`` (lint
+  rules RK201/RK210/RK206 stay clean) and a degraded run's trace is
+  bit-identical across replay.
+
+Causality is tracked two ways: the measured path keeps a per-track
+stack so nested ``span()`` blocks get parent ids automatically, and
+both paths accept a ``trace_id`` so logically-related spans on
+different tracks (a walker hopping between nodes, a service request
+fanning out to shards) stitch into one trace.
+
+Cost model: the hard off-switch is ``enabled=False`` (or simply not
+attaching a tracer) — engines guard every emission with one attribute
+check, which is what the perf harness certifies at <3% overhead.
+``sample_every`` thins only *per-walker* spans (the one cardinality
+that scales with workload size); structural spans (run, superstep,
+stages) are always kept when tracing is on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..errors import ObsError
+
+__all__ = ["Span", "Tracer", "default_clock"]
+
+
+def default_clock() -> float:
+    """Monotonic wall clock for local (non-simulated) engines."""
+    return time.perf_counter()
+
+
+@dataclass
+class Span:
+    """One completed span.  ``ts``/``dur`` are seconds relative to the
+    tracer's epoch — wall seconds for local runs, simulated seconds for
+    cluster runs."""
+
+    name: str
+    ts: float
+    dur: float
+    track: str = "main"
+    category: str = "engine"
+    span_id: int = 0
+    parent_id: int | None = None
+    trace_id: str | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Yielded by :meth:`Tracer.span`; lets the block attach result
+    args (``handle.args["active"] = n``) before the span closes."""
+
+    __slots__ = ("span_id", "args")
+
+    def __init__(self, span_id: int, args: dict[str, Any]):
+        self.span_id = span_id
+        self.args = args
+
+
+class Tracer:
+    """Collects :class:`Span` records against one injected clock.
+
+    Parameters
+    ----------
+    clock:
+        zero-arg callable returning seconds.  Defaults to
+        ``perf_counter``.  Simulated-time packages must inject their
+        own clock or use only :meth:`record_span` (rule RK206).
+    enabled:
+        the hard off-switch.  When ``False`` every method is a no-op
+        and engines treat the tracer as absent.
+    sample_every:
+        keep per-walker spans only for walker ids divisible by this
+        (deterministic — no RNG).  1 keeps everything.
+    max_spans:
+        safety cap; recording beyond it silently drops spans so a
+        forgotten tracer cannot exhaust memory on a long soak.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        *,
+        enabled: bool = True,
+        sample_every: int = 1,
+        max_spans: int = 1_000_000,
+    ) -> None:
+        if sample_every < 1:
+            raise ObsError(f"sample_every must be >= 1, got {sample_every}")
+        self._clock = clock if clock is not None else default_clock
+        self.enabled = bool(enabled)
+        self.sample_every = int(sample_every)
+        self.max_spans = int(max_spans)
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._next_id = 1
+        self._stacks: dict[str, list[int]] = {}
+        self._lock = threading.Lock()
+        self._epoch: float | None = None
+
+    # -- clock ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the first clock read (tracer epoch)."""
+        raw = self._clock()
+        if self._epoch is None:
+            self._epoch = raw
+        return raw - self._epoch
+
+    def sampled(self, key: int) -> bool:
+        """Deterministic keep/drop decision for per-walker spans."""
+        return self.enabled and key % self.sample_every == 0
+
+    # -- declared path (simulated time) --------------------------------
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        ts: float,
+        dur: float,
+        track: str = "main",
+        category: str = "engine",
+        parent_id: int | None = None,
+        trace_id: str | None = None,
+        args: dict[str, Any] | None = None,
+    ) -> int:
+        """Record a span with caller-supplied timestamps.  Returns the
+        span id (0 when disabled/dropped) for use as a later parent."""
+        if not self.enabled:
+            return 0
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                return 0
+            span_id = self._next_id
+            self._next_id += 1
+            self.spans.append(
+                Span(
+                    name=name,
+                    ts=float(ts),
+                    dur=float(dur),
+                    track=track,
+                    category=category,
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    trace_id=trace_id,
+                    args=dict(args) if args else {},
+                )
+            )
+        return span_id
+
+    # -- measured path (injected clock) --------------------------------
+
+    def begin(self, track: str = "main") -> float:
+        """Timestamp to later pass to :meth:`end`."""
+        return self.now()
+
+    def end(
+        self,
+        name: str,
+        started: float,
+        *,
+        track: str = "main",
+        category: str = "engine",
+        trace_id: str | None = None,
+        args: dict[str, Any] | None = None,
+    ) -> int:
+        """Close an explicit begin/end pair on the injected clock."""
+        if not self.enabled:
+            return 0
+        now = self.now()
+        with self._lock:
+            stack = self._stacks.get(track)
+            parent = stack[-1] if stack else None
+        return self.record_span(
+            name,
+            ts=started,
+            dur=max(now - started, 0.0),
+            track=track,
+            category=category,
+            parent_id=parent,
+            trace_id=trace_id,
+            args=args,
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        track: str = "main",
+        category: str = "engine",
+        trace_id: str | None = None,
+        args: dict[str, Any] | None = None,
+    ) -> Iterator[_SpanHandle | None]:
+        """Measured span around a block; nests via a per-track stack."""
+        if not self.enabled:
+            yield None
+            return
+        started = self.now()
+        with self._lock:
+            stack = self._stacks.setdefault(track, [])
+            parent = stack[-1] if stack else None
+            span_id = self._next_id
+            self._next_id += 1
+            stack.append(span_id)
+        handle = _SpanHandle(span_id, dict(args) if args else {})
+        try:
+            yield handle
+        finally:
+            ended = self.now()
+            with self._lock:
+                stack = self._stacks.get(track)
+                if stack and stack[-1] == span_id:
+                    stack.pop()
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(
+                        Span(
+                            name=name,
+                            ts=started,
+                            dur=max(ended - started, 0.0),
+                            track=track,
+                            category=category,
+                            span_id=span_id,
+                            parent_id=parent,
+                            trace_id=trace_id,
+                            args=handle.args,
+                        )
+                    )
+                else:
+                    self.dropped += 1
+
+    # -- introspection --------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)

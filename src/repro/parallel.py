@@ -41,6 +41,7 @@ from repro.core.program import WalkerProgram
 from repro.core.stats import WalkStats
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
+from repro.obs import MetricsRegistry, registry_from_walk_stats
 from repro.service.breaker import RetryBudget
 from repro.service.deadline import Deadline
 from repro.service.pool import SupervisedPool
@@ -50,13 +51,21 @@ __all__ = ["ParallelWalkResult", "run_parallel_walk", "shard_config"]
 
 @dataclass
 class ParallelWalkResult:
-    """Merged outcome of a sharded walk execution."""
+    """Merged outcome of a sharded walk execution.
+
+    ``metrics`` is the merged :class:`~repro.obs.MetricsRegistry`:
+    every shard builds a delta from its own :class:`WalkStats` inside
+    the worker process (labelled ``shard=<i>``), ships it back through
+    the supervised pool's result pipe, and the parent folds the deltas
+    — plus the pool's own supervision counters — into one registry.
+    """
 
     stats: WalkStats
     paths: list[np.ndarray] | None
     walk_lengths: np.ndarray
     num_workers: int
     status: str = "complete"
+    metrics: MetricsRegistry | None = None
 
 
 def shard_config(
@@ -112,9 +121,12 @@ def shard_config(
 
 
 def _run_shard(args):
-    graph, program, shard_config_, deadline = args
+    graph, program, shard_config_, deadline, index = args
     result = WalkEngine(graph, program, shard_config_).run(deadline=deadline)
-    return result.stats, result.paths, result.walkers.steps, result.status
+    # Per-shard metric delta, built where the stats live (the worker
+    # process) and shipped back over the result pipe for merging.
+    delta = registry_from_walk_stats(result.stats, shard=str(index))
+    return result.stats, result.paths, result.walkers.steps, result.status, delta
 
 
 def run_parallel_walk(
@@ -146,7 +158,11 @@ def run_parallel_walk(
     if isinstance(deadline, (int, float)):
         deadline = Deadline(float(deadline))
     shards = shard_config(config, graph, num_workers)
-    payloads = [(graph, program, shard, deadline) for shard in shards]
+    payloads = [
+        (graph, program, shard, deadline, index)
+        for index, shard in enumerate(shards)
+    ]
+    registry = MetricsRegistry()
 
     if len(shards) == 1 or num_workers == 1:
         outputs = [_run_shard(payload) for payload in payloads]
@@ -156,6 +172,7 @@ def run_parallel_walk(
             task_timeout=shard_timeout,
             max_restarts=max_restarts,
             retry_budget=retry_budget,
+            registry=registry,
         )
         outputs = pool.run(
             _run_shard,
@@ -169,7 +186,8 @@ def run_parallel_walk(
     all_paths: list[np.ndarray] | None = [] if config.record_paths else None
     lengths = []
     status = "complete"
-    for stats, paths, steps, shard_status in outputs:
+    for stats, paths, steps, shard_status, delta in outputs:
+        registry.merge(delta)
         merged.counters.merge(stats.counters)
         merged.termination.by_step_limit += stats.termination.by_step_limit
         merged.termination.by_probability += stats.termination.by_probability
@@ -194,4 +212,5 @@ def run_parallel_walk(
         walk_lengths=np.concatenate(lengths),
         num_workers=len(shards),
         status=status,
+        metrics=registry,
     )

@@ -81,6 +81,13 @@ class SupervisedPool:
     retry_budget:
         optional shared token bucket consulted *in addition to*
         ``max_restarts`` before any restart.
+    registry:
+        optional :class:`repro.obs.MetricsRegistry` (duck-typed) that
+        receives the pool's supervision counters — tasks dispatched,
+        worker restarts, timeouts, worker exceptions.  Workers
+        themselves ship metric *deltas* back through the result pipe
+        (see :func:`repro.parallel._run_shard`); the registry here only
+        counts what the supervisor observed.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class SupervisedPool:
         max_restarts: int = 2,
         retry_budget=None,
         context=None,
+        registry=None,
     ) -> None:
         if max_workers <= 0:
             raise ConfigError("max_workers must be positive")
@@ -102,7 +110,12 @@ class SupervisedPool:
         self.max_restarts = max_restarts
         self.retry_budget = retry_budget
         self._ctx = context if context is not None else _default_context()
+        self.registry = registry
         self.restarts = 0  # total worker restarts across run() calls
+
+    def _count(self, name: str, help_text: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, help_text).inc(amount)
 
     # ------------------------------------------------------------------
     def _check_cross_process(self, fn) -> None:
@@ -137,6 +150,7 @@ class SupervisedPool:
         """
         self._check_cross_process(fn)
         payloads = list(payloads)
+        self._count("pool_tasks", "tasks dispatched to workers", len(payloads))
         describe = describe if describe is not None else (
             lambda index: f"task {index}"
         )
@@ -199,6 +213,7 @@ class SupervisedPool:
                 process.terminate()
                 process.join()
                 conn.close()
+                self._count("pool_timeouts", "tasks killed at task_timeout")
                 raise WorkerError(
                     f"{describe(index)} exceeded its "
                     f"{self.task_timeout:.3f}s timeout and was terminated",
@@ -225,6 +240,7 @@ class SupervisedPool:
                 self.retry_budget is None or self.retry_budget.try_acquire()
             ):
                 self.restarts += 1
+                self._count("pool_restarts", "worker deaths retried")
                 pending.append(index)
                 return
             raise WorkerError(
@@ -240,6 +256,7 @@ class SupervisedPool:
                 self.retry_budget.record_success()
             return
         _tag, exc_repr, worker_tb = message
+        self._count("pool_worker_errors", "tasks that raised in a worker")
         raise WorkerError(
             f"{describe(index)} raised {exc_repr}\n"
             f"--- worker traceback ---\n{worker_tb}",

@@ -75,6 +75,13 @@ class WalkService:
     default_deadline:
         seconds applied to requests submitted without a deadline;
         ``None`` leaves them unbounded.
+    tracer:
+        optional :class:`repro.obs.Tracer` (duck-typed).  When enabled,
+        every executed request lands as a ``service.request`` span
+        (trace id ``request-<id>``) and the engines it spawns emit
+        their run/superstep spans on a per-request track.  ``None`` or
+        a disabled tracer is the hard off-switch — no emission sites
+        are touched.
     """
 
     def __init__(
@@ -86,9 +93,15 @@ class WalkService:
         degradation: DegradationPolicy | None = DegradationPolicy(),
         breaker: CircuitBreaker | None = None,
         default_deadline: float | None = None,
+        tracer=None,
     ) -> None:
         if num_workers <= 0:
             raise ServiceError("num_workers must be positive")
+        self._obs = (
+            tracer
+            if tracer is not None and getattr(tracer, "enabled", False)
+            else None
+        )
         self.graph = graph
         # Serialises commits against snapshot pinning: DynamicGraph is
         # not internally thread-safe, but a pinned EpochSnapshot is
@@ -204,6 +217,32 @@ class WalkService:
                     self._in_flight -= 1
 
     def _execute(self, ticket: WalkTicket) -> None:
+        obs = self._obs
+        if obs is None:
+            self._execute_request(ticket)
+            return
+        started = obs.now()
+        self._execute_request(ticket)
+        response = ticket._response
+        args: dict = {"request_id": ticket.request.request_id}
+        if response is not None:
+            args["status"] = response.status
+            args["wait_seconds"] = round(response.wait_seconds, 6)
+            if response.shed_reason is not None:
+                args["shed_reason"] = response.shed_reason
+            if response.degradations:
+                args["degradations"] = list(response.degradations)
+        obs.record_span(
+            "service.request",
+            ts=started,
+            dur=obs.now() - started,
+            track="service",
+            category="service",
+            trace_id=f"request-{ticket.request.request_id}",
+            args=args,
+        )
+
+    def _execute_request(self, ticket: WalkTicket) -> None:
         request = ticket.request
         if ticket.cancel_token.cancelled:
             self._resolve_shed(ticket, "cancelled")
@@ -308,6 +347,11 @@ class WalkService:
         if request.num_nodes > 1:
             return self._run_distributed(ticket, graph, request, config)
         engine = WalkEngine(graph, request.program, config)
+        if self._obs is not None:
+            # Per-request track: concurrent workers must not share a
+            # span stack, and the timeline reads better per request.
+            engine._obs_track = f"request{request.request_id}"
+            engine.observe(self._obs)
         return engine.run(
             deadline=ticket.deadline, cancel=ticket.cancel_token
         )
@@ -330,6 +374,8 @@ class WalkService:
             fault_plan=request.fault_plan,
             degrade_on_crash=True,
         )
+        if self._obs is not None:
+            engine.observe(self._obs)
         result = engine.run(deadline=ticket.deadline, cancel=ticket.cancel_token)
         with self._lock:
             self.metrics.distributed_runs += 1

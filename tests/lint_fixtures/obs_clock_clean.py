@@ -1,0 +1,22 @@
+# lint-fixture-path: src/repro/cluster/obs_clean.py
+"""RK206 negatives: sanctioned tracer use inside a simulated-time module.
+
+Both sanctioned patterns appear: constructing a tracer with an
+injected simulation clock, and declaring pre-timed spans on a received
+tracer without reading any clock at all.
+"""
+
+from repro.obs import Tracer
+
+
+def build_tracer(cost_model, cluster):
+    def simulated_clock():
+        return float(sum(cluster.superstep_times))
+
+    return Tracer(clock=simulated_clock)
+
+
+def declare_superstep(tracer, start, duration, iteration):
+    return tracer.record_span(
+        "superstep", ts=start, dur=duration, args={"iteration": iteration}
+    )

@@ -1,0 +1,12 @@
+# lint-fixture-path: src/repro/cli.py
+"""RK206 negatives: host-clock tracers are fine outside simulated time."""
+
+import time
+
+from repro.obs import Tracer
+
+
+def build_host_tracers():
+    implicit = Tracer()
+    explicit = Tracer(clock=time.perf_counter)
+    return implicit, explicit

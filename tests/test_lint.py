@@ -103,6 +103,8 @@ class TestFixtures:
             "rng_clean",
             "simtime_clean_outside",
             "simtime_clean_allowlisted",
+            "obs_clock_clean",
+            "obs_clock_clean_outside",
             "retry_clean",
             "process_clean",
             "generic_clean",

@@ -5,6 +5,7 @@ import json
 from repro.bench.perf import (
     PERF_WORKLOADS,
     enforce_engine_floor,
+    enforce_obs_overhead,
     format_report,
     run_perf,
     write_report,
@@ -54,6 +55,16 @@ def test_quick_report_roundtrip(tmp_path):
     # noisy to assert it *passes*, only that it evaluates).
     assert isinstance(enforce_engine_floor(report), list)
     assert enforce_engine_floor(report, floor=0.0) == []
+    # Observability overhead is likewise a top-level section with the
+    # three states the CI gate compares.
+    obs = report["obs"]
+    assert obs["workload"] == "node2vec"
+    assert obs["baseline_steps_per_sec"] > 0
+    assert obs["disabled_steps_per_sec"] > 0
+    assert obs["enabled_steps_per_sec"] > 0
+    assert isinstance(enforce_obs_overhead(report), list)
+    assert enforce_obs_overhead(report, limit=10.0) == []
+    assert enforce_obs_overhead(report, limit=-10.0) != []
 
     path = write_report(report, tmp_path / "BENCH_walks.json")
     loaded = json.loads(path.read_text(encoding="utf-8"))

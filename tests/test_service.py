@@ -350,6 +350,90 @@ class TestServiceMetrics:
         assert metrics.accounting_balanced(pending=1)
         assert "queue_full=1" in metrics.report()
 
+    def _shard(self, served=1, shed_reason=None, latency=None):
+        shard = ServiceMetrics()
+        shard.submitted = served + (1 if shed_reason else 0)
+        shard.admitted = served
+        shard.served = served
+        if shed_reason:
+            shard.record_shed(shed_reason)
+        if latency is not None:
+            shard.record_latency(latency)
+        return shard
+
+    def test_merge_accumulates_and_preserves_conservation(self):
+        aggregate = ServiceMetrics()
+        a = self._shard(served=3, shed_reason="queue_full", latency=0.01)
+        b = self._shard(served=2, latency=0.04)
+        assert aggregate.merge(a) is True
+        assert aggregate.merge(b) is True
+        assert aggregate.submitted == a.submitted + b.submitted
+        assert aggregate.served == 5
+        assert aggregate.shed == 1
+        assert aggregate.shed_reasons == {"queue_full": 1}
+        assert aggregate.latencies_seconds == [0.01, 0.04]
+        assert (
+            aggregate.served + aggregate.shed + aggregate.failed
+            == aggregate.submitted
+        )
+
+    def test_merge_is_idempotent_per_source(self):
+        aggregate = ServiceMetrics()
+        shard = self._shard(served=4, shed_reason="deadline")
+        assert aggregate.merge(shard) is True
+        # Re-delivered delta (e.g. a supervised-pool restart resending
+        # the same shard result) must not double-count.
+        assert aggregate.merge(shard) is False
+        assert aggregate.submitted == shard.submitted
+        assert aggregate.shed_reasons == {"deadline": 1}
+        # Self-merge and relayed duplicates are also refused: a fresh
+        # relay that re-packages the already-counted shard is rejected
+        # whole because its absorbed set overlaps the aggregate's.
+        assert aggregate.merge(aggregate) is False
+        relay = ServiceMetrics()
+        assert relay.merge(shard) is True
+        assert aggregate.merge(relay) is False
+        assert aggregate.submitted == shard.submitted
+
+    def test_merge_transitive_dedup_via_merged_sources(self):
+        shard = self._shard(served=2)
+        left, right = ServiceMetrics(), ServiceMetrics()
+        assert left.merge(shard) and right.merge(shard)
+        root = ServiceMetrics()
+        assert root.merge(left) is True
+        # right re-packages the shard root already counted via left;
+        # the overlap in merged_sources refuses it whole.
+        assert root.merge(right) is False
+        assert root.served == 2
+        assert shard.source_id in root.merged_sources
+
+    def test_merge_concurrent_shards_exact(self):
+        import threading
+
+        aggregate = ServiceMetrics()
+        shards = [self._shard(served=1, latency=0.01) for _ in range(16)]
+        # Each shard delivered twice, concurrently: exactly one of the
+        # two deliveries may win.
+        outcomes = []
+        threads = [
+            threading.Thread(
+                target=lambda s=s: outcomes.append(aggregate.merge(s))
+            )
+            for s in shards
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count(True) == len(shards)
+        assert aggregate.served == len(shards)
+        assert len(aggregate.latencies_seconds) == len(shards)
+        assert (
+            aggregate.served + aggregate.shed + aggregate.failed
+            == aggregate.submitted
+        )
+
 
 class TestWalkService:
     def test_deadline_free_request_bit_identical(self, graph):

@@ -20,6 +20,7 @@ import pytest
 
 from repro.algorithms import DeepWalk, UniformWalk
 from repro.core.config import WalkConfig
+from repro.core.stats import ServiceMetrics
 from repro.errors import WorkerError
 from repro.graph.generators import uniform_degree_graph
 from repro.parallel import run_parallel_walk
@@ -106,6 +107,20 @@ def test_soak_mixed_stream_exact_accounting():
     # The conservation law, exactly — from both views.
     assert metrics.served + metrics.shed + metrics.failed == total
     assert service.accounting_balanced()
+
+    # Route the same accounting through the idempotent merge path: a
+    # fresh aggregate absorbs the service's metrics once, refuses the
+    # duplicate delivery, and the conservation law holds on the merged
+    # copy exactly as on the original.
+    aggregate = ServiceMetrics()
+    assert aggregate.merge(metrics) is True
+    assert aggregate.merge(metrics) is False  # re-delivery is a no-op
+    assert aggregate.submitted == total
+    assert aggregate.served + aggregate.shed + aggregate.failed == total
+    assert aggregate.served == metrics.served
+    assert aggregate.shed == metrics.shed
+    assert aggregate.failed == metrics.failed
+    assert sum(aggregate.shed_reasons.values()) == aggregate.shed
     assert (
         by_status.get(OK, 0)
         + by_status.get(DEADLINE_EXCEEDED, 0)
